@@ -1,0 +1,49 @@
+"""Ablation benchmark: time-index variants (1D R-tree vs. B+-tree) and MIL merging."""
+
+import pytest
+
+from repro.data import IUPT
+from repro.experiments import real_scale
+
+
+@pytest.fixture(scope="module")
+def window(real_scenario):
+    knobs = real_scale("small")
+    return real_scenario.query_interval(knobs.default_delta_seconds, seed=3)
+
+
+def _rebuilt_table(scenario, index_kind: str) -> IUPT:
+    table = IUPT(index_kind=index_kind)
+    table.extend(scenario.iupt.records)
+    return table
+
+
+def test_bench_ablation_indexes_rows(benchmark, real_scenario, window, run_and_attach):
+    table = _rebuilt_table(real_scenario, "1dr-tree")
+    start, end = window
+    run_and_attach(
+        benchmark, "ablation_indexes", lambda: table.range_query(start, end)
+    )
+
+
+def test_bench_range_query_1dr_tree(benchmark, real_scenario, window):
+    table = _rebuilt_table(real_scenario, "1dr-tree")
+    start, end = window
+    benchmark(table.range_query, start, end)
+
+
+def test_bench_range_query_bplus_tree(benchmark, real_scenario, window):
+    table = _rebuilt_table(real_scenario, "bplus-tree")
+    start, end = window
+    benchmark(table.range_query, start, end)
+
+
+def test_bench_ablation_algorithms(benchmark, run_and_attach, real_scenario, real_setting):
+    """Head-to-head of the three algorithms and their -ORG variants (rows attached)."""
+    from repro.experiments.runner import single_query_outcome
+
+    run_and_attach(
+        benchmark,
+        "ablation_algorithms",
+        lambda: single_query_outcome(real_scenario, "nl", real_setting),
+    )

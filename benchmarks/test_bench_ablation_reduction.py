@@ -1,0 +1,45 @@
+"""Ablation benchmark: effect of the data reduction method (paper Section 5.2.1).
+
+Attaches the candidate-path-space shrinkage rows of ``ablation_reduction`` and
+times the reduction pass itself (all objects of the default real-data window)
+under the full configuration.
+"""
+
+from repro.core import DataReducer, DataReductionConfig
+from repro.experiments import real_scale
+
+
+def test_bench_ablation_reduction(benchmark, real_scenario, run_and_attach):
+    scenario = real_scenario
+    knobs = real_scale("small")
+    start, end = scenario.query_interval(knobs.default_delta_seconds, seed=3)
+    sequences = scenario.iupt.sequences_in(start, end)
+    reducer = DataReducer(
+        scenario.system.graph, scenario.system.matrix, DataReductionConfig.enabled()
+    )
+    query_set = set(scenario.slocation_ids())
+
+    def reduce_all():
+        return [reducer.reduce(sequence, query_set) for sequence in sequences.values()]
+
+    run_and_attach(benchmark, "ablation_reduction", reduce_all)
+
+
+def test_bench_reduction_disabled_path_construction(benchmark, real_scenario):
+    """Time path construction on un-reduced sequences for direct comparison."""
+    from repro.core.flow import FlowComputer
+
+    scenario = real_scenario
+    knobs = real_scale("small")
+    start, end = scenario.query_interval(knobs.default_delta_seconds, seed=3)
+    sequences = scenario.iupt.sequences_in(start, end)
+    computer = FlowComputer(
+        scenario.system.graph, scenario.system.matrix, DataReductionConfig.disabled()
+    )
+
+    def construct_all():
+        return [
+            computer.presence_computation(sequence) for sequence in sequences.values()
+        ]
+
+    benchmark.pedantic(construct_all, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 8: efficiency vs. k on real data (see DESIGN.md section 4).
+
+The regenerated result rows are attached to ``extra_info``; the timed portion
+is the Best-First query at the experiment's default setting.
+"""
+
+
+def test_bench_fig08(benchmark, real_scenario, real_setting, time_method):
+    time_method(benchmark, "fig08", real_scenario, real_setting, "bf")

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 9: efficiency vs. |Q| on real data (see DESIGN.md section 4).
+
+The regenerated result rows are attached to ``extra_info``; the timed portion
+is the Best-First query at the experiment's default setting.
+"""
+
+
+def test_bench_fig09(benchmark, real_scenario, real_setting, time_method):
+    time_method(benchmark, "fig09", real_scenario, real_setting, "bf")

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 16: effectiveness vs. positioning error mu (see DESIGN.md section 4).
+
+The regenerated result rows are attached to ``extra_info``; the timed portion
+is the Best-First query at the experiment's default setting.
+"""
+
+
+def test_bench_fig16(benchmark, synth_scenario, synth_setting, time_method):
+    time_method(benchmark, "fig16", synth_scenario, synth_setting, "bf")

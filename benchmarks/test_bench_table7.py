@@ -1,0 +1,33 @@
+"""Benchmark regenerating Table 7: Kendall coefficient of SCC / UR / BF vs. k and |Q|.
+
+The RFID-based baselines and BF consume the same underlying trajectories; the
+timed portion runs one query per method on the RFID-enabled synthetic scenario.
+"""
+
+from repro.experiments.runner import single_query_outcome
+
+
+def test_bench_table7_bf(benchmark, synth_rfid_scenario, synth_setting, run_and_attach):
+    run_and_attach(
+        benchmark,
+        "table7",
+        lambda: single_query_outcome(synth_rfid_scenario, "bf", synth_setting),
+    )
+
+
+def test_bench_table7_scc(benchmark, synth_rfid_scenario, synth_setting):
+    benchmark.pedantic(
+        lambda: single_query_outcome(synth_rfid_scenario, "scc", synth_setting),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+
+def test_bench_table7_ur(benchmark, synth_rfid_scenario, synth_setting):
+    benchmark.pedantic(
+        lambda: single_query_outcome(synth_rfid_scenario, "ur", synth_setting),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )

@@ -1,0 +1,115 @@
+"""repro — reproduction of "Finding Most Popular Indoor Semantic Locations
+Using Uncertain Mobility Data" (Li, Lu, Shou, Chen, Chen; IEEE TKDE 2019).
+
+The package implements the paper's indoor flow model and Top-k Popular
+Location Query (TkPLQ) over uncertain indoor positioning data, together with
+every substrate the evaluation depends on: the indoor space model (cells,
+indoor space location graph, indoor location matrix), spatial and temporal
+indexes, data reduction, the three search algorithms, the comparison
+baselines, and synthetic data generators for both the "real data" and the
+Vita-like synthetic settings.
+
+Quickstart::
+
+    from repro import build_real_scenario
+
+    scenario = build_real_scenario(duration_seconds=600)
+    query_set = scenario.slocation_ids()
+    result = scenario.system.top_k(
+        scenario.iupt, query_set, k=3,
+        start=scenario.start_time, end=scenario.end_time,
+    )
+    for entry in result.ranking:
+        print(scenario.plan.slocations[entry.sloc_id].label(), entry.flow)
+"""
+
+from .baselines import (
+    MonteCarlo,
+    SemiConstrainedCounting,
+    SimpleCounting,
+    UncertaintyRegionFlow,
+)
+from .core import (
+    ALGORITHMS,
+    BestFirstTkPLQ,
+    DataReducer,
+    DataReductionConfig,
+    FlowComputer,
+    IndoorFlowSystem,
+    NaiveTkPLQ,
+    NestedLoopTkPLQ,
+    PossiblePath,
+    PresenceComputation,
+    RankedLocation,
+    SearchStats,
+    TkPLQResult,
+    TkPLQuery,
+)
+from .data import IUPT, PositioningRecord, Sample, SampleSet, Trajectory, TrajectoryStore
+from .eval import (
+    MethodOutcome,
+    kendall_coefficient,
+    recall_at_k,
+    run_method,
+    run_methods,
+)
+from .geometry import Point, Rect
+from .space import (
+    FloorPlan,
+    IndoorLocationMatrix,
+    IndoorSpaceLocationGraph,
+    PartitionKind,
+    PLocationKind,
+)
+from .synth import (
+    Scenario,
+    build_real_scenario,
+    build_synthetic_scenario,
+    build_university_floorplan,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "BestFirstTkPLQ",
+    "DataReducer",
+    "DataReductionConfig",
+    "FloorPlan",
+    "FlowComputer",
+    "IUPT",
+    "IndoorFlowSystem",
+    "IndoorLocationMatrix",
+    "IndoorSpaceLocationGraph",
+    "MethodOutcome",
+    "MonteCarlo",
+    "NaiveTkPLQ",
+    "NestedLoopTkPLQ",
+    "PartitionKind",
+    "PLocationKind",
+    "Point",
+    "PositioningRecord",
+    "PossiblePath",
+    "PresenceComputation",
+    "RankedLocation",
+    "Rect",
+    "Sample",
+    "SampleSet",
+    "Scenario",
+    "SearchStats",
+    "SemiConstrainedCounting",
+    "SimpleCounting",
+    "TkPLQResult",
+    "TkPLQuery",
+    "Trajectory",
+    "TrajectoryStore",
+    "UncertaintyRegionFlow",
+    "build_real_scenario",
+    "build_synthetic_scenario",
+    "build_university_floorplan",
+    "kendall_coefficient",
+    "recall_at_k",
+    "run_method",
+    "run_methods",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Comparison baselines: SC / SC-ρ, MC, SCC, and UR."""
+
+from .monte_carlo import MonteCarlo
+from .scc import SemiConstrainedCounting
+from .simple_counting import SimpleCounting
+from .uncertainty_region import UncertaintyRegionFlow
+
+__all__ = [
+    "MonteCarlo",
+    "SemiConstrainedCounting",
+    "SimpleCounting",
+    "UncertaintyRegionFlow",
+]

@@ -1,0 +1,85 @@
+"""The SC and SC-ρ simple counting baselines (Section 5.1).
+
+SC processes every positioning record independently: it keeps only the sample
+with the highest probability and, if that sample's P-location lies inside a
+query S-location, counts the object for that location.  SC-ρ keeps *all*
+samples whose probability exceeds a threshold ρ.  Both variants:
+
+* allow one P-location to be counted for several S-locations containing it;
+* count an object at most once per S-location over the whole query interval
+  (to stay comparable with the indoor flow definition).
+
+They are fast — no paths are constructed — but ignore the indoor topology and
+most of the probability mass, which is why the paper reports very low
+effectiveness for them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Set
+
+from ..core.query import SearchStats, TkPLQResult, TkPLQuery, rank_top_k
+from ..data.iupt import IUPT
+from ..data.records import Sample
+from ..space.floorplan import FloorPlan
+
+
+class SimpleCounting:
+    """The SC baseline; pass a ``threshold`` to obtain SC-ρ."""
+
+    def __init__(self, plan: FloorPlan, threshold: Optional[float] = None):
+        if threshold is not None and not (0.0 <= threshold < 1.0):
+            raise ValueError("the SC-ρ threshold must be in [0, 1)")
+        self._plan = plan.freeze()
+        self._threshold = threshold
+        self.name = "sc" if threshold is None else f"sc-rho({threshold})"
+
+    @property
+    def threshold(self) -> Optional[float]:
+        return self._threshold
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, iupt: IUPT, query: TkPLQuery) -> TkPLQResult:
+        stats = SearchStats()
+        began = time.perf_counter()
+        query_set = set(query.query_slocations)
+
+        # counted[sloc_id] is the set of objects already counted there.
+        counted: Dict[int, Set[int]] = {sloc_id: set() for sloc_id in query_set}
+        seen_objects: Set[int] = set()
+
+        for record in iupt.range_query(query.start, query.end):
+            seen_objects.add(record.object_id)
+            for sample in self._picked_samples(record.sample_set):
+                for sloc_id in self._slocations_of_sample(sample):
+                    if sloc_id in query_set:
+                        counted[sloc_id].add(record.object_id)
+
+        flows = {sloc_id: float(len(objects)) for sloc_id, objects in counted.items()}
+        stats.objects_total = len(seen_objects)
+        stats.objects_computed = len(seen_objects)
+        stats.elapsed_seconds = time.perf_counter() - began
+        return TkPLQResult(
+            query=query,
+            ranking=rank_top_k(flows, query.k),
+            flows=flows,
+            stats=stats,
+            algorithm=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _picked_samples(self, sample_set):
+        if self._threshold is None:
+            return [sample_set.most_probable()]
+        return sample_set.above_threshold(self._threshold)
+
+    def _slocations_of_sample(self, sample: Sample):
+        ploc = self._plan.plocations.get(sample.ploc_id)
+        if ploc is None:
+            return []
+        return self._plan.slocations_containing(ploc.position)

@@ -1,0 +1,211 @@
+"""Flow computation for a single S-location (Algorithm 2).
+
+``Flow(q, tree, [ts, te])`` fetches the positioning records of the query
+window from the time index, groups them per object, reduces every object's
+sequence (Algorithm 1), constructs the valid possible paths on the reduced
+sequence, and accumulates the object presences into the indoor flow of ``q``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..data.iupt import IUPT
+from ..data.records import SampleSet
+from ..space.graph import IndoorSpaceLocationGraph
+from ..space.matrix import IndoorLocationMatrix
+from .paths import (
+    PathConstructionStats,
+    build_possible_paths,
+    total_candidate_probability,
+)
+from .presence import PresenceComputation
+from .query import SearchStats
+from .reduction import DataReducer, DataReductionConfig, ReductionStats
+
+
+@dataclass
+class FlowResult:
+    """The indoor flow of one S-location plus the work done to obtain it."""
+
+    sloc_id: int
+    flow: float
+    stats: SearchStats
+
+
+class ObjectComputationCache:
+    """Per-query cache of reduced sequences and presence computations.
+
+    The nested-loop and best-first algorithms must not re-construct the paths
+    of an object that is relevant to several query locations (the
+    "intermediate result sharing" of Section 4.1); this cache provides that
+    sharing.  The naive algorithm deliberately bypasses it.
+    """
+
+    def __init__(self) -> None:
+        self._presence: Dict[int, PresenceComputation] = {}
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._presence
+
+    def get(self, object_id: int) -> Optional[PresenceComputation]:
+        return self._presence.get(object_id)
+
+    def put(self, object_id: int, computation: PresenceComputation) -> None:
+        self._presence[object_id] = computation
+
+    def __len__(self) -> int:
+        return len(self._presence)
+
+
+class FlowComputer:
+    """Computes indoor flows for individual S-locations (Algorithm 2)."""
+
+    def __init__(
+        self,
+        graph: IndoorSpaceLocationGraph,
+        matrix: IndoorLocationMatrix,
+        reduction: DataReductionConfig = DataReductionConfig.enabled(),
+        max_paths_per_object: Optional[int] = 1024,
+    ):
+        self._graph = graph
+        self._matrix = matrix
+        self._reducer = DataReducer(graph, matrix, reduction)
+        self._max_paths_per_object = max_paths_per_object
+
+    @property
+    def graph(self) -> IndoorSpaceLocationGraph:
+        return self._graph
+
+    @property
+    def matrix(self) -> IndoorLocationMatrix:
+        return self._matrix
+
+    @property
+    def reducer(self) -> DataReducer:
+        return self._reducer
+
+    # ------------------------------------------------------------------
+    # Per-object presence
+    # ------------------------------------------------------------------
+    def presence_computation(
+        self,
+        sequence: Sequence[SampleSet],
+        stats: Optional[SearchStats] = None,
+    ) -> PresenceComputation:
+        """Build the possible paths of one (already reduced) sequence."""
+        path_stats = stats.path_stats if stats is not None else PathConstructionStats()
+        paths = build_possible_paths(
+            sequence, self._matrix, path_stats, max_paths=self._max_paths_per_object
+        )
+        # Equation 1 normalises by the total candidate-path mass (the product
+        # of the per-sample-set probability sums), so probability mass lost to
+        # invalid candidates lowers the presence — this reproduces the paper's
+        # worked Example 3 (Φ(r6, o2) = 0.85).
+        return PresenceComputation(
+            paths, candidate_mass=total_candidate_probability(sequence)
+        )
+
+    def object_presence(
+        self,
+        sequence: Sequence[SampleSet],
+        sloc_id: int,
+        reduce_first: bool = True,
+    ) -> float:
+        """Φ(q, o) for a raw per-object sequence (convenience for tests/examples)."""
+        cell_id = self._graph.parent_cell(sloc_id)
+        if cell_id is None:
+            return 0.0
+        working: Sequence[SampleSet] = sequence
+        if reduce_first:
+            reduced = self._reducer.reduce(sequence, {sloc_id})
+            if reduced.pruned:
+                return 0.0
+            working = reduced.sequence
+        return self.presence_computation(working).presence_in_cell(cell_id)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2
+    # ------------------------------------------------------------------
+    def flow(
+        self,
+        iupt: IUPT,
+        sloc_id: int,
+        start: float,
+        end: float,
+        cache: Optional[ObjectComputationCache] = None,
+        stats: Optional[SearchStats] = None,
+    ) -> FlowResult:
+        """Compute the indoor flow of S-location ``sloc_id`` over ``[start, end]``."""
+        own_stats = stats if stats is not None else SearchStats()
+        began = time.perf_counter()
+
+        cell_id = self._graph.parent_cell(sloc_id)
+        sequences = iupt.sequences_in(start, end)
+        own_stats.objects_total = max(own_stats.objects_total, len(sequences))
+
+        flow_value = 0.0
+        for object_id in sorted(sequences):
+            presence = self._presence_for_object(
+                object_id, sequences[object_id], {sloc_id}, cache, own_stats
+            )
+            if presence is None:
+                continue
+            own_stats.flow_evaluations += 1
+            flow_value += presence.presence_in_cell(cell_id)
+
+        own_stats.elapsed_seconds += time.perf_counter() - began
+        return FlowResult(sloc_id=sloc_id, flow=flow_value, stats=own_stats)
+
+    def flows_for_all(
+        self,
+        iupt: IUPT,
+        sloc_ids: Sequence[int],
+        start: float,
+        end: float,
+    ) -> Dict[int, float]:
+        """Flows for several S-locations, sharing one cache (used by examples)."""
+        cache = ObjectComputationCache()
+        stats = SearchStats()
+        return {
+            sloc_id: self.flow(iupt, sloc_id, start, end, cache=cache, stats=stats).flow
+            for sloc_id in sloc_ids
+        }
+
+    # ------------------------------------------------------------------
+    # Shared internals (also used by the TkPLQ algorithms)
+    # ------------------------------------------------------------------
+    def _presence_for_object(
+        self,
+        object_id: int,
+        sequence: Sequence[SampleSet],
+        query_slocations: Optional[Set[int]],
+        cache: Optional[ObjectComputationCache],
+        stats: SearchStats,
+    ) -> Optional[PresenceComputation]:
+        """Reduce + path-construct one object, honouring the cache and stats."""
+        if cache is not None:
+            cached = cache.get(object_id)
+            if cached is not None:
+                return cached
+        reduced = self._reducer.reduce(
+            sequence, query_slocations, stats.reduction_stats
+        )
+        if reduced.pruned:
+            return None
+        computation = self.presence_computation(reduced.sequence, stats)
+        stats.note_object_computed(object_id)
+        if cache is not None:
+            cache.put(object_id, computation)
+        return computation
+
+    def reduce_object(
+        self,
+        sequence: Sequence[SampleSet],
+        query_slocations: Optional[Set[int]],
+        stats: Optional[ReductionStats] = None,
+    ):
+        """Expose Algorithm 1 for callers that need the PSLs (e.g. Best-First)."""
+        return self._reducer.reduce(sequence, query_slocations, stats)

@@ -1,0 +1,213 @@
+"""Possible indoor path construction (Section 2.3, step 2).
+
+Given an object's positioning sequence ``X = (X1, ..., Xn)`` within the query
+window, the candidate paths live in the Cartesian product
+``πl(X1) x ... x πl(Xn)``.  Candidates violating the indoor topology — i.e.
+containing a consecutive P-location pair with ``MIL[pi, pj] = ∅`` — are
+invalid and are pruned *during* construction (Algorithm 2, lines 13-15), so
+that invalid branches never fan out.
+
+Each constructed path keeps, per consecutive P-location pair, the set of cells
+that could host the movement (``MIL[locj, locj+1]``).  Those step cell sets
+are all that is needed later to evaluate the pass probability with respect to
+any S-location, which is how the nested-loop and best-first algorithms share
+one path construction across many query locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..data.records import SampleSet
+from ..space.matrix import IndoorLocationMatrix
+
+
+@dataclass(frozen=True)
+class PossiblePath:
+    """A valid possible path (group) of one object across the query window.
+
+    Attributes
+    ----------
+    plocations:
+        The P-locations of one representative concrete path (the first one
+        encountered for this group; see below).
+    probability:
+        The total probability mass of the concrete paths represented by this
+        entry (``Σ pr_i`` over the group).
+    step_cells:
+        For every consecutive pair ``(loc_j, loc_{j+1})``, the set of cells
+        that cover a direct connection between them.  For a single-report
+        path this holds one entry: the adjacent/containing cells of the lone
+        P-location.
+
+    Concrete candidate paths that traverse exactly the same step cell sets and
+    end at the same P-location are interchangeable for every downstream
+    computation: their pass probability with respect to any S-location is
+    identical (Equation 2 depends only on the step cell sets) and their
+    extensibility depends only on the tail P-location.  The constructor
+    therefore groups them and sums their probabilities, which keeps Equation 1
+    exact while drastically reducing the number of path objects handled.
+    """
+
+    plocations: Tuple[int, ...]
+    probability: float
+    step_cells: Tuple[FrozenSet[int], ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.plocations)
+
+    def cells_touched(self) -> Set[int]:
+        """All cells the path may traverse (union of the step cell sets)."""
+        touched: Set[int] = set()
+        for cells in self.step_cells:
+            touched |= cells
+        return touched
+
+    def pass_probability(self, cell_id: Optional[int]) -> float:
+        """The probability that this path passes the cell ``cell_id``.
+
+        Implements Equation 2: the complement of the probability that none of
+        the consecutive pairs passes the cell, where each pair passes it with
+        probability ``|{c in C | c == cell}| / |C|``.
+        """
+        if cell_id is None:
+            return 0.0
+        miss_probability = 1.0
+        for cells in self.step_cells:
+            if not cells:
+                continue
+            hit = 1.0 / len(cells) if cell_id in cells else 0.0
+            miss_probability *= 1.0 - hit
+        return 1.0 - miss_probability
+
+
+@dataclass
+class PathConstructionStats:
+    """Counters describing one path-construction run (for the reduction study)."""
+
+    candidate_paths: int = 0
+    valid_paths: int = 0
+    pruned_branches: int = 0
+    truncated_objects: int = 0
+
+    def merge(self, other: "PathConstructionStats") -> None:
+        self.candidate_paths += other.candidate_paths
+        self.valid_paths += other.valid_paths
+        self.pruned_branches += other.pruned_branches
+        self.truncated_objects += other.truncated_objects
+
+
+def candidate_path_count(sequence: Sequence[SampleSet]) -> int:
+    """The worst-case number of candidate paths (``Π |πl(Xi)|``)."""
+    total = 1
+    for sample_set in sequence:
+        total *= len(sample_set.plocation_set())
+    return total if sequence else 0
+
+
+def build_possible_paths(
+    sequence: Sequence[SampleSet],
+    matrix: IndoorLocationMatrix,
+    stats: Optional[PathConstructionStats] = None,
+    max_paths: Optional[int] = None,
+) -> List[PossiblePath]:
+    """Construct the topologically valid possible paths of one sequence.
+
+    The construction extends partial paths one sample set at a time and drops
+    a partial path as soon as its tail cannot directly reach the next sample's
+    P-location (``MIL[tail, loc] = ∅``), mirroring lines 9-15 of Algorithm 2.
+    Concrete candidates sharing the same tail P-location and the same step
+    cell sets are grouped (their probabilities summed) because they are
+    indistinguishable for presence computation — see :class:`PossiblePath`.
+
+    ``max_paths``, when given, bounds the number of path groups carried
+    forward at each step; if the bound is exceeded the lowest-probability
+    groups are dropped and the computation becomes an approximation (the kept
+    mass still normalises correctly through Equation 1).  The paper instead
+    spills paths to disk; a bound is the practical equivalent for a pure
+    in-memory reproduction and only triggers on pathological sequences.
+    """
+    if stats is not None:
+        stats.candidate_paths += candidate_path_count(sequence)
+    if not sequence:
+        return []
+
+    # Partial path groups: (tail, step_cells) -> [representative locations, probability]
+    GroupKey = Tuple[int, Tuple[FrozenSet[int], ...]]
+    partials: dict = {}
+    for sample in sequence[0]:
+        key: GroupKey = (sample.ploc_id, ())
+        entry = partials.get(key)
+        if entry is None:
+            partials[key] = [(sample.ploc_id,), sample.prob]
+        else:
+            entry[1] += sample.prob
+
+    truncated = False
+    for sample_set in sequence[1:]:
+        extended: dict = {}
+        for (tail, steps), (locations, probability) in partials.items():
+            for sample in sample_set:
+                cells = matrix.cells_between(tail, sample.ploc_id)
+                if not cells:
+                    if stats is not None:
+                        stats.pruned_branches += 1
+                    continue
+                key = (sample.ploc_id, steps + (cells,))
+                entry = extended.get(key)
+                if entry is None:
+                    extended[key] = [
+                        locations + (sample.ploc_id,),
+                        probability * sample.prob,
+                    ]
+                else:
+                    entry[1] += probability * sample.prob
+        if max_paths is not None and len(extended) > max_paths:
+            truncated = True
+            keep = sorted(extended.items(), key=lambda item: -item[1][1])[:max_paths]
+            extended = dict(keep)
+        partials = extended
+        if not partials:
+            break
+
+    paths: List[PossiblePath] = []
+    for (tail, steps), (locations, probability) in partials.items():
+        if len(locations) == 1:
+            # A lone report: the "movement" stays within the cells adjacent to
+            # the single P-location (see DESIGN.md, interpretation choices).
+            steps = (matrix.cells_adjacent(locations[0]),)
+        paths.append(
+            PossiblePath(
+                plocations=locations,
+                probability=probability,
+                step_cells=steps,
+            )
+        )
+    if stats is not None:
+        stats.valid_paths += len(paths)
+        if truncated:
+            stats.truncated_objects += 1
+    return paths
+
+
+def total_probability(paths: Sequence[PossiblePath]) -> float:
+    """Sum of the (valid) path probabilities."""
+    return sum(path.probability for path in paths)
+
+
+def total_candidate_probability(sequence: Sequence[SampleSet]) -> float:
+    """Total probability mass of all candidate paths (``Π_i Σ_e prob``).
+
+    This is the denominator of Equation 1 as used by the paper's worked
+    examples; it equals 1 whenever every sample set is normalised, but is
+    computed explicitly so that merged or truncated sample sets stay
+    consistent.
+    """
+    if not sequence:
+        return 0.0
+    total = 1.0
+    for sample_set in sequence:
+        total *= sum(sample.prob for sample in sample_set)
+    return total

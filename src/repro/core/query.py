@@ -1,0 +1,124 @@
+"""Query and result types for the Top-k Popular Location Query (TkPLQ).
+
+Problem 1 of the paper: given a query set ``Q`` of S-locations, an IUPT over
+a set of objects ``O`` and a time interval ``[ts, te]``, return the ``k``
+S-locations of ``Q`` with the highest indoor flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .paths import PathConstructionStats
+from .reduction import ReductionStats
+
+
+@dataclass(frozen=True)
+class TkPLQuery:
+    """A top-k popular location query."""
+
+    query_slocations: Tuple[int, ...]
+    k: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        if not self.query_slocations:
+            raise ValueError("the query set Q must not be empty")
+        if self.start > self.end:
+            raise ValueError("the query interval start must not exceed its end")
+        if self.k > len(self.query_slocations):
+            raise ValueError(
+                f"k={self.k} exceeds the query set size {len(self.query_slocations)}"
+            )
+
+    @staticmethod
+    def build(
+        query_slocations: Sequence[int], k: int, start: float, end: float
+    ) -> "TkPLQuery":
+        return TkPLQuery(tuple(query_slocations), k, start, end)
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        return (self.start, self.end)
+
+
+@dataclass(frozen=True)
+class RankedLocation:
+    """One entry of a TkPLQ answer: an S-location and its flow value."""
+
+    sloc_id: int
+    flow: float
+
+
+@dataclass
+class SearchStats:
+    """Efficiency counters collected while answering one query.
+
+    ``objects_total`` is ``|O|`` restricted to the query window (objects with
+    at least one report in ``[ts, te]``); ``objects_computed`` is ``|Of|``,
+    the objects whose presence actually had to be computed.  The paper's
+    pruning ratio is ``(|O| - |Of|) / |O|``.
+    """
+
+    elapsed_seconds: float = 0.0
+    objects_total: int = 0
+    objects_computed: int = 0
+    flow_evaluations: int = 0
+    heap_operations: int = 0
+    path_stats: PathConstructionStats = field(default_factory=PathConstructionStats)
+    reduction_stats: ReductionStats = field(default_factory=ReductionStats)
+    computed_object_ids: set = field(default_factory=set)
+
+    def note_object_computed(self, object_id: int) -> None:
+        """Record that an object's presence was computed (distinct objects only)."""
+        self.computed_object_ids.add(object_id)
+        self.objects_computed = len(self.computed_object_ids)
+
+    @property
+    def pruning_ratio(self) -> float:
+        if self.objects_total == 0:
+            return 0.0
+        return (self.objects_total - self.objects_computed) / self.objects_total
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "elapsed_seconds": self.elapsed_seconds,
+            "objects_total": self.objects_total,
+            "objects_computed": self.objects_computed,
+            "pruning_ratio": self.pruning_ratio,
+            "flow_evaluations": self.flow_evaluations,
+            "heap_operations": self.heap_operations,
+            "valid_paths": self.path_stats.valid_paths,
+            "candidate_paths": self.path_stats.candidate_paths,
+        }
+
+
+@dataclass
+class TkPLQResult:
+    """The answer to a TkPLQ: the ranked top-k plus per-location flows."""
+
+    query: TkPLQuery
+    ranking: List[RankedLocation]
+    flows: Dict[int, float]
+    stats: SearchStats
+    algorithm: str = ""
+
+    def top_k_ids(self) -> List[int]:
+        """The ranked S-location ids, best first."""
+        return [entry.sloc_id for entry in self.ranking]
+
+    def flow_of(self, sloc_id: int) -> Optional[float]:
+        return self.flows.get(sloc_id)
+
+    def __len__(self) -> int:
+        return len(self.ranking)
+
+
+def rank_top_k(flows: Dict[int, float], k: int) -> List[RankedLocation]:
+    """Rank S-locations by flow (descending), ties broken by smaller id."""
+    ordered = sorted(flows.items(), key=lambda item: (-item[1], item[0]))
+    return [RankedLocation(sloc_id, flow) for sloc_id, flow in ordered[:k]]

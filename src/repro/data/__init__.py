@@ -1,0 +1,20 @@
+"""Mobility data models: uncertain positioning records, IUPT, trajectories, RFID."""
+
+from .iupt import IUPT
+from .records import PositioningRecord, PositioningSequence, Sample, SampleSet
+from .rfid import RFIDReader, RFIDRecord, RFIDTable
+from .trajectory import Trajectory, TrajectoryPoint, TrajectoryStore
+
+__all__ = [
+    "IUPT",
+    "PositioningRecord",
+    "PositioningSequence",
+    "RFIDReader",
+    "RFIDRecord",
+    "RFIDTable",
+    "Sample",
+    "SampleSet",
+    "Trajectory",
+    "TrajectoryPoint",
+    "TrajectoryStore",
+]

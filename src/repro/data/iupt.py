@@ -1,0 +1,149 @@
+"""The Indoor Uncertain Positioning Table (IUPT) and its time index.
+
+The IUPT stores the historical positioning records of all indoor moving
+objects (Table 2 of the paper).  Following Section 3.3, the table is indexed
+on its time attribute with a one-dimensional R-tree so that the flow and
+TkPLQ algorithms can fetch exactly the records of a query window; a B+-tree
+index is also available for the index ablation study.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..indexes import BPlusTree, OneDimensionalRTree
+from .records import PositioningRecord, SampleSet
+
+
+class IUPT:
+    """The indoor uncertain positioning table.
+
+    Parameters
+    ----------
+    index_kind:
+        ``"1dr-tree"`` (default, the paper's choice) or ``"bplus-tree"``.
+        Both expose the same range-query semantics; the choice only affects
+        the index ablation benchmark.
+    """
+
+    VALID_INDEXES = ("1dr-tree", "bplus-tree")
+
+    def __init__(self, index_kind: str = "1dr-tree"):
+        if index_kind not in self.VALID_INDEXES:
+            raise ValueError(
+                f"unknown index kind {index_kind!r}; expected one of {self.VALID_INDEXES}"
+            )
+        self._index_kind = index_kind
+        self._records: List[PositioningRecord] = []
+        self._rtree: OneDimensionalRTree[PositioningRecord] = OneDimensionalRTree()
+        self._bptree: BPlusTree[PositioningRecord] = BPlusTree()
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def append(self, record: PositioningRecord) -> None:
+        """Append one positioning record."""
+        self._records.append(record)
+        self._rtree.insert(record.timestamp, record)
+        self._bptree.insert(record.timestamp, record)
+
+    def extend(self, records: Iterable[PositioningRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def report(self, object_id: int, sample_set: SampleSet, timestamp: float) -> None:
+        """Convenience wrapper building the record in place."""
+        self.append(PositioningRecord(object_id, sample_set, timestamp))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def index_kind(self) -> str:
+        return self._index_kind
+
+    @property
+    def records(self) -> Sequence[PositioningRecord]:
+        return tuple(self._records)
+
+    def object_ids(self) -> List[int]:
+        """The distinct object identifiers present in the table."""
+        return sorted({record.object_id for record in self._records})
+
+    def time_span(self) -> Tuple[float, float]:
+        """The earliest and latest report timestamps (``(inf, -inf)`` if empty)."""
+        if not self._records:
+            return (float("inf"), float("-inf"))
+        timestamps = [r.timestamp for r in self._records]
+        return (min(timestamps), max(timestamps))
+
+    def summary(self) -> Dict[str, float]:
+        """Basic statistics used in experiment logs."""
+        sizes = [len(r.sample_set) for r in self._records]
+        start, end = self.time_span()
+        return {
+            "records": len(self._records),
+            "objects": len(self.object_ids()),
+            "max_sample_set_size": max(sizes) if sizes else 0,
+            "mean_sample_set_size": (sum(sizes) / len(sizes)) if sizes else 0.0,
+            "time_start": start,
+            "time_end": end,
+        }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query(self, start: float, end: float) -> List[PositioningRecord]:
+        """Return the records whose timestamp falls into ``[start, end]``.
+
+        This corresponds to the ``tree.RangeQuery([ts, te])`` call of
+        Algorithms 2-4 and goes through the configured time index.
+        """
+        if self._index_kind == "1dr-tree":
+            return self._rtree.range_query(start, end)
+        return self._bptree.range_query(start, end)
+
+    def sequences_in(self, start: float, end: float) -> Dict[int, List[SampleSet]]:
+        """Group the records of a window into per-object positioning sequences.
+
+        Corresponds to the hash table ``HO : {oid} -> {X}`` construction at
+        the top of Algorithms 2-4.  The sequences preserve time order.
+        """
+        grouped: Dict[int, List[Tuple[float, SampleSet]]] = defaultdict(list)
+        for record in self.range_query(start, end):
+            grouped[record.object_id].append((record.timestamp, record.sample_set))
+        sequences: Dict[int, List[SampleSet]] = {}
+        for object_id, pairs in grouped.items():
+            pairs.sort(key=lambda item: item[0])
+            sequences[object_id] = [sample_set for _, sample_set in pairs]
+        return sequences
+
+    def records_of_object(self, object_id: int) -> List[PositioningRecord]:
+        """All records of one object, in time order."""
+        selected = [r for r in self._records if r.object_id == object_id]
+        selected.sort(key=lambda r: r.timestamp)
+        return selected
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def with_max_sample_set_size(self, mss: int) -> "IUPT":
+        """Return a copy whose records are truncated to ``mss`` samples each.
+
+        Used by the uncertainty experiments (Table 5, Figure 7) which vary the
+        maximum sample-set size of the same underlying data.
+        """
+        clone = IUPT(index_kind=self._index_kind)
+        clone.extend(record.truncated(mss) for record in self._records)
+        return clone
+
+    def filtered_to_objects(self, object_ids: Iterable[int]) -> "IUPT":
+        """Return a copy containing only the records of ``object_ids``."""
+        wanted = set(object_ids)
+        clone = IUPT(index_kind=self._index_kind)
+        clone.extend(r for r in self._records if r.object_id in wanted)
+        return clone

@@ -1,0 +1,104 @@
+"""Effectiveness and efficiency metrics (Section 5.1).
+
+Three measures are used throughout the evaluation:
+
+* **recall** — the fraction of the ground-truth top-k locations present in the
+  returned top-k;
+* **Kendall coefficient τ** — rank correlation between the returned ranking
+  and the ground-truth ranking, extended to a common element set when the two
+  rankings differ (the paper's extension: missing elements are appended with a
+  shared, tied ordering value);
+* **pruning ratio** — ``(|O| - |Of|) / |O|`` where ``Of`` are the objects
+  whose presence the algorithm had to compute (reported by the search
+  statistics, see :class:`repro.core.SearchStats`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def recall_at_k(result_ranking: Sequence[int], truth_ranking: Sequence[int]) -> float:
+    """The fraction of ground-truth top-k locations found in the result top-k.
+
+    Both rankings are interpreted as top-k lists; the denominator is the size
+    of the ground-truth list (``k``).
+    """
+    if not truth_ranking:
+        return 1.0
+    truth = set(truth_ranking)
+    found = truth & set(result_ranking)
+    return len(found) / len(truth)
+
+
+def extend_rankings(
+    result_ranking: Sequence[int], truth_ranking: Sequence[int]
+) -> Tuple[Dict[int, float], Dict[int, float]]:
+    """Extend two top-k rankings to a common element set (paper's scheme).
+
+    Elements missing from a ranking are appended after its last position with
+    a single shared (tied) ordering value, exactly as in the paper's example:
+    with ``ϕr = ⟨A, B, C⟩`` and ``ϕg = ⟨B, D, E⟩``, elements ``A`` and ``C``
+    are both ranked 4th in the extended ``ϕg``.
+
+    Returns two dictionaries mapping each element of the union to its ordering
+    value in the (extended) rankings.
+    """
+    result_rank = {item: float(position) for position, item in enumerate(result_ranking, start=1)}
+    truth_rank = {item: float(position) for position, item in enumerate(truth_ranking, start=1)}
+    union = set(result_rank) | set(truth_rank)
+
+    missing_in_result = len(result_rank) + 1.0
+    missing_in_truth = len(truth_rank) + 1.0
+    for item in union:
+        result_rank.setdefault(item, missing_in_result)
+        truth_rank.setdefault(item, missing_in_truth)
+    return result_rank, truth_rank
+
+
+def kendall_coefficient(
+    result_ranking: Sequence[int], truth_ranking: Sequence[int]
+) -> float:
+    """The Kendall coefficient τ between a result ranking and the ground truth.
+
+    ``τ = (cp - dp) / total`` where ``cp`` (``dp``) counts the concordant
+    (discordant) pairs over the extended element set: a pair is concordant
+    when the two rankings order it the same way (ties in both rankings also
+    count as concordant), discordant when they order it opposite ways, and a
+    tie in exactly one ranking counts as neither.  Identical rankings give 1,
+    reversed rankings give -1.
+    """
+    if not result_ranking and not truth_ranking:
+        return 1.0
+    result_rank, truth_rank = extend_rankings(result_ranking, truth_ranking)
+    items = sorted(result_rank)
+    concordant = 0
+    discordant = 0
+    total = 0
+    for i, a in enumerate(items):
+        for b in items[i + 1 :]:
+            total += 1
+            delta_result = result_rank[a] - result_rank[b]
+            delta_truth = truth_rank[a] - truth_rank[b]
+            if delta_result == 0.0 and delta_truth == 0.0:
+                concordant += 1
+            elif delta_result * delta_truth > 0.0:
+                concordant += 1
+            elif delta_result * delta_truth < 0.0:
+                discordant += 1
+    if total == 0:
+        return 1.0
+    return (concordant - discordant) / total
+
+
+def pruning_ratio(objects_total: int, objects_computed: int) -> float:
+    """``σ = (|O| - |Of|) / |O|`` (0 when no object fell into the window)."""
+    if objects_total <= 0:
+        return 0.0
+    return (objects_total - objects_computed) / objects_total
+
+
+def rank_by_score(scores: Dict[int, float], k: int) -> List[int]:
+    """Rank identifiers by descending score (ties by smaller id), top-k only."""
+    ordered = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    return [identifier for identifier, _ in ordered[:k]]

@@ -1,0 +1,30 @@
+"""Experiment runners regenerating every table and figure of the evaluation."""
+
+from .config import (
+    REAL_DEFAULTS,
+    SYNTH_DEFAULTS,
+    clear_scenario_cache,
+    get_real_scenario,
+    get_synth_scenario,
+    real_scale,
+    synth_scale,
+)
+from .registry import EXPERIMENTS, experiment_names, run_experiment
+from .runner import QuerySetting, evaluate, format_table, single_query_outcome
+
+__all__ = [
+    "EXPERIMENTS",
+    "QuerySetting",
+    "REAL_DEFAULTS",
+    "SYNTH_DEFAULTS",
+    "clear_scenario_cache",
+    "evaluate",
+    "experiment_names",
+    "format_table",
+    "get_real_scenario",
+    "get_synth_scenario",
+    "real_scale",
+    "run_experiment",
+    "single_query_outcome",
+    "synth_scale",
+]

@@ -1,0 +1,129 @@
+"""Ablation studies for the design choices called out in DESIGN.md.
+
+Two ablations complement the paper's own experiments:
+
+* **data reduction ablation** — quantifies how much the intra-merge,
+  inter-merge, and PSL pruning steps shrink the candidate path space and the
+  running time (the paper's §5.2.1 reports the end-to-end effect only);
+* **index ablation** — compares the two time indexes (1D R-tree vs. B+-tree)
+  on the IUPT range query, and the raw vs. merged indoor location matrix
+  dimensions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from ..core import DataReducer, DataReductionConfig, TkPLQuery
+from ..core.paths import candidate_path_count
+from ..data import IUPT
+from ..eval import run_method
+from ..space import IndoorLocationMatrix
+from .config import get_real_scenario, real_scale
+from .runner import QuerySetting
+
+
+def ablation_reduction(scale: str = "small") -> List[Dict[str, object]]:
+    """Quantify the path-space shrinkage of each data reduction configuration."""
+    scenario = get_real_scenario(scale)
+    knobs = real_scale(scale)
+    start, end = scenario.query_interval(knobs.default_delta_seconds, seed=3)
+    sequences = scenario.iupt.sequences_in(start, end)
+    query_set = set(scenario.slocation_ids())
+
+    configurations = {
+        "none": DataReductionConfig.disabled(),
+        "intra-merge only": DataReductionConfig(True, False, False),
+        "inter-merge only": DataReductionConfig(False, True, False),
+        "intra+inter": DataReductionConfig(True, True, False),
+        "full (paper)": DataReductionConfig.enabled(),
+    }
+
+    rows: List[Dict[str, object]] = []
+    for label, config in configurations.items():
+        reducer = DataReducer(scenario.system.graph, scenario.system.matrix, config)
+        began = time.perf_counter()
+        candidate_before = 0
+        candidate_after = 0
+        kept_objects = 0
+        for sequence in sequences.values():
+            candidate_before += candidate_path_count(sequence)
+            reduced = reducer.reduce(sequence, query_set)
+            if reduced.pruned:
+                continue
+            kept_objects += 1
+            candidate_after += candidate_path_count(list(reduced.sequence))
+        elapsed = time.perf_counter() - began
+        rows.append(
+            {
+                "configuration": label,
+                "objects_kept": kept_objects,
+                "objects_total": len(sequences),
+                "candidate_paths_before": candidate_before,
+                "candidate_paths_after": candidate_after,
+                "reduction_factor": round(
+                    candidate_before / candidate_after if candidate_after else float("inf"), 2
+                ),
+                "time_s": round(elapsed, 4),
+            }
+        )
+    return rows
+
+
+def ablation_indexes(scale: str = "small") -> List[Dict[str, object]]:
+    """Compare time-index variants and matrix merging on the same workload."""
+    scenario = get_real_scenario(scale)
+    knobs = real_scale(scale)
+    start, end = scenario.query_interval(knobs.default_delta_seconds, seed=3)
+
+    rows: List[Dict[str, object]] = []
+    for index_kind in ("1dr-tree", "bplus-tree"):
+        table = IUPT(index_kind=index_kind)
+        table.extend(scenario.iupt.records)
+        began = time.perf_counter()
+        repetitions = 50
+        fetched = 0
+        for _ in range(repetitions):
+            fetched = len(table.range_query(start, end))
+        elapsed = (time.perf_counter() - began) / repetitions
+        rows.append(
+            {
+                "component": "time-index",
+                "variant": index_kind,
+                "records_fetched": fetched,
+                "time_s": round(elapsed, 6),
+            }
+        )
+
+    raw = IndoorLocationMatrix.from_graph(scenario.system.graph)
+    merged = raw.merged(scenario.system.graph)
+    for label, matrix in (("raw NxN", raw), ("merged MxM", merged)):
+        rows.append(
+            {
+                "component": "indoor-location-matrix",
+                "variant": label,
+                "dimension": matrix.dimension,
+                "nonempty_pairs": matrix.nonempty_pairs(),
+            }
+        )
+    return rows
+
+
+def ablation_algorithms(scale: str = "small") -> List[Dict[str, object]]:
+    """Head-to-head of the three search algorithms with and without reduction."""
+    scenario = get_real_scenario(scale)
+    knobs = real_scale(scale)
+    setting = QuerySetting(
+        k=3,
+        q_fraction=0.6,
+        delta_seconds=knobs.default_delta_seconds,
+        repeats=1,
+        mc_rounds=knobs.mc_rounds,
+    )
+    query = setting.queries(scenario)[0]
+    rows: List[Dict[str, object]] = []
+    for method in ("naive", "nl", "bf", "naive-org", "nl-org", "bf-org"):
+        outcome = run_method(scenario, method, query)
+        rows.append(outcome.as_row())
+    return rows

@@ -1,0 +1,36 @@
+"""The RFID comparison experiment (paper Table 7).
+
+The same ground-truth trajectories are observed both by the probabilistic
+positioning simulator (feeding BF) and by the RFID tracking simulator (feeding
+the SCC and UR baselines); Table 7 compares the Kendall coefficient of the
+three methods while varying k and |Q|.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .config import get_synth_scenario, synth_scale
+from .runner import QuerySetting, evaluate
+from .synth_experiments import K_VALUES, Q_FRACTIONS, _clamp_k, _default_setting
+
+RFID_METHODS = ("scc", "ur", "bf")
+
+
+def table7(scale: str = "small") -> List[Dict[str, object]]:
+    """Table 7: Kendall coefficient of SCC / UR / BF for combinations of k and |Q|."""
+    scenario = get_synth_scenario(scale, with_rfid=True)
+    rows: List[Dict[str, object]] = []
+    for fraction in Q_FRACTIONS[scale]:
+        for k in K_VALUES[scale]:
+            setting = _default_setting(scale, k=k, q_fraction=fraction)
+            setting.k = _clamp_k(scenario, setting.k, fraction)
+            rows.extend(
+                evaluate(
+                    scenario,
+                    RFID_METHODS,
+                    setting,
+                    extra={"q_fraction": fraction, "k": setting.k},
+                )
+            )
+    return rows

@@ -1,0 +1,157 @@
+"""Experiments on the synthetic (Vita-like) scenario (paper Section 5.3).
+
+The synthetic experiments vary the data-generation knobs — the maximum
+positioning period ``T``, the positioning error ``µ``, and the object count
+``|O|`` — in addition to the query knobs, so several of them rebuild scenarios
+through :mod:`repro.experiments.config` (which caches them per parameter set).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .config import SYNTH_DEFAULTS, get_synth_scenario, synth_scale
+from .runner import QuerySetting, evaluate
+
+EFFECTIVENESS_METHODS = ("bf", "sc", "sc-rho", "mc")
+EFFICIENCY_METHODS = ("nl", "bf", "sc", "sc-rho", "mc")
+
+# Reduced sweeps used at the "small" scale; the "paper" scale uses the exact
+# values of Table 6.
+T_VALUES = {"small": (1.0, 3.0, 5.0, 7.0), "paper": (1.0, 3.0, 5.0, 7.0)}
+MU_VALUES = {"small": (3.0, 5.0, 7.0), "paper": (3.0, 5.0, 7.0)}
+OBJECT_COUNTS = {"small": (20, 40, 60, 80), "paper": (2500, 5000, 7500, 10000)}
+K_VALUES = {"small": (3, 5, 8, 10), "paper": (5, 10, 15, 20)}
+Q_FRACTIONS = {"small": (0.25, 0.5, 0.75), "paper": (0.04, 0.08, 0.12)}
+DELTA_FACTORS = {"small": (0.25, 0.5, 0.75, 1.0), "paper": (0.125, 0.25, 0.5, 1.0)}
+
+
+def _default_setting(scale: str, **overrides) -> QuerySetting:
+    knobs = synth_scale(scale)
+    parameters = {
+        "k": SYNTH_DEFAULTS["k"],
+        "q_fraction": SYNTH_DEFAULTS["q_fraction"],
+        "delta_seconds": knobs.default_delta_seconds,
+        "repeats": knobs.repeats,
+        "mc_rounds": knobs.mc_rounds,
+        "sc_rho": 0.2,
+    }
+    parameters.update(overrides)
+    return QuerySetting(**parameters)
+
+
+def _clamp_k(scenario, setting_k: int, q_fraction: float) -> int:
+    available = max(1, round(len(scenario.plan.slocations) * q_fraction))
+    return min(setting_k, available)
+
+
+def _sweep_scenarios_by(
+    scale: str,
+    parameter: str,
+    values: Sequence[float],
+    methods: Sequence[str],
+    **setting_overrides,
+) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for value in values:
+        scenario = get_synth_scenario(scale, **{parameter: value})
+        setting = _default_setting(scale, **setting_overrides)
+        setting.k = _clamp_k(scenario, setting.k, setting.q_fraction)
+        rows.extend(evaluate(scenario, methods, setting, extra={parameter: value}))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Data-uncertainty experiments
+# ----------------------------------------------------------------------
+def fig14(scale: str = "small") -> List[Dict[str, object]]:
+    """Figure 14: running time vs. T (panel a) and vs. µ (panel b)."""
+    rows = _sweep_scenarios_by(
+        scale, "max_period_seconds", T_VALUES[scale], EFFICIENCY_METHODS
+    )
+    rows += _sweep_scenarios_by(
+        scale, "positioning_error", MU_VALUES[scale], EFFICIENCY_METHODS
+    )
+    return rows
+
+
+def fig15(scale: str = "small") -> List[Dict[str, object]]:
+    """Figure 15: effectiveness vs. the maximum positioning period T."""
+    return _sweep_scenarios_by(
+        scale, "max_period_seconds", T_VALUES[scale], EFFECTIVENESS_METHODS
+    )
+
+
+def fig16(scale: str = "small") -> List[Dict[str, object]]:
+    """Figure 16: effectiveness vs. the positioning error µ."""
+    return _sweep_scenarios_by(
+        scale, "positioning_error", MU_VALUES[scale], EFFECTIVENESS_METHODS
+    )
+
+
+# ----------------------------------------------------------------------
+# Scalability and query-parameter experiments
+# ----------------------------------------------------------------------
+def fig17(scale: str = "small") -> List[Dict[str, object]]:
+    """Figure 17: running time vs. the number of moving objects |O|."""
+    return _sweep_scenarios_by(
+        scale, "num_objects", OBJECT_COUNTS[scale], EFFICIENCY_METHODS
+    )
+
+
+def fig18(scale: str = "small") -> List[Dict[str, object]]:
+    """Figure 18: effectiveness vs. k on synthetic data."""
+    scenario = get_synth_scenario(scale)
+    rows: List[Dict[str, object]] = []
+    for k in K_VALUES[scale]:
+        setting = _default_setting(scale, k=k)
+        setting.k = _clamp_k(scenario, setting.k, setting.q_fraction)
+        rows.extend(
+            evaluate(scenario, EFFECTIVENESS_METHODS, setting, extra={"k": setting.k})
+        )
+    return rows
+
+
+def fig19(scale: str = "small") -> List[Dict[str, object]]:
+    """Figure 19: effectiveness vs. |Q| on synthetic data."""
+    scenario = get_synth_scenario(scale)
+    rows: List[Dict[str, object]] = []
+    for fraction in Q_FRACTIONS[scale]:
+        setting = _default_setting(scale, q_fraction=fraction)
+        setting.k = _clamp_k(scenario, setting.k, fraction)
+        rows.extend(
+            evaluate(
+                scenario,
+                EFFECTIVENESS_METHODS,
+                setting,
+                extra={"q_fraction": fraction},
+            )
+        )
+    return rows
+
+
+def fig20(scale: str = "small") -> List[Dict[str, object]]:
+    """Figure 20: effectiveness vs. |O| on synthetic data."""
+    return _sweep_scenarios_by(
+        scale, "num_objects", OBJECT_COUNTS[scale], EFFECTIVENESS_METHODS
+    )
+
+
+def fig21(scale: str = "small") -> List[Dict[str, object]]:
+    """Figure 21: effectiveness vs. Δt on synthetic data."""
+    scenario = get_synth_scenario(scale)
+    knobs = synth_scale(scale)
+    rows: List[Dict[str, object]] = []
+    for factor in DELTA_FACTORS[scale]:
+        delta = knobs.duration_seconds * factor
+        setting = _default_setting(scale, delta_seconds=delta)
+        setting.k = _clamp_k(scenario, setting.k, setting.q_fraction)
+        rows.extend(
+            evaluate(
+                scenario,
+                EFFECTIVENESS_METHODS,
+                setting,
+                extra={"delta_seconds": delta},
+            )
+        )
+    return rows

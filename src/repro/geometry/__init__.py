@@ -1,0 +1,15 @@
+"""Geometry primitives: points, rectangles, polygons, and ellipses."""
+
+from .ellipse import Ellipse
+from .point import Point, interpolate
+from .polygon import Polygon, decompose_rectilinear
+from .rect import Rect
+
+__all__ = [
+    "Ellipse",
+    "Point",
+    "Polygon",
+    "Rect",
+    "decompose_rectilinear",
+    "interpolate",
+]

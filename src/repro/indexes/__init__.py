@@ -1,0 +1,17 @@
+"""Index substrates: R-tree, COUNT-aggregate R-tree, 1D R-tree, B+-tree."""
+
+from .aggregate_rtree import AggregateEntry, AggregateNode, CountAggregateRTree
+from .bplustree import BPlusTree
+from .interval_index import OneDimensionalRTree
+from .rtree import RTree, RTreeEntry, RTreeNode
+
+__all__ = [
+    "AggregateEntry",
+    "AggregateNode",
+    "BPlusTree",
+    "CountAggregateRTree",
+    "OneDimensionalRTree",
+    "RTree",
+    "RTreeEntry",
+    "RTreeNode",
+]

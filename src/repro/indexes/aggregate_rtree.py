@@ -1,0 +1,149 @@
+"""COUNT-aggregate R-tree used by the Best-First TkPLQ algorithm.
+
+Algorithm 4 of the paper organises moving objects into "an in-memory
+COUNT-aggregate R-tree" ``RC`` where "each non-leaf node entry e ... is
+augmented with a count e.count that stores the number of objects covered in
+e's child nodes".  The Best-First search joins this tree against the R-tree of
+query S-locations and uses the counts as upper bounds on flow (an object's
+presence never exceeds 1).
+
+This module wraps the generic :class:`~repro.indexes.rtree.RTree` with count
+maintenance and exposes the node/entry view the join algorithm needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple
+
+from ..geometry import Rect
+from .rtree import RTree, RTreeNode
+
+
+@dataclass
+class AggregateEntry:
+    """A uniform view over aggregate-tree entries used during the join.
+
+    ``node`` is ``None`` for leaf-level entries (concrete objects); otherwise
+    it points at the child node this entry summarises.
+    """
+
+    mbr: Rect
+    count: int
+    node: Optional["AggregateNode"]
+    item: Any = None
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        return self.node is None
+
+
+@dataclass
+class AggregateNode:
+    """A node of the COUNT-aggregate R-tree."""
+
+    is_leaf: bool
+    entries: List[AggregateEntry]
+    mbr: Optional[Rect]
+    count: int
+
+
+class CountAggregateRTree:
+    """A COUNT-aggregate R-tree over ``(mbr, item)`` pairs.
+
+    Built once (bulk loaded) per query from the objects that survive the data
+    reduction step, so only construction and read access are needed.
+    """
+
+    def __init__(self, max_entries: int = 8):
+        self._max_entries = max_entries
+        self._items: List[Tuple[Rect, Any]] = []
+        self._root: Optional[AggregateNode] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def insert(self, mbr: Rect, item: Any) -> None:
+        """Buffer an ``(mbr, item)`` pair; the tree is built lazily on access."""
+        self._items.append((mbr, item))
+        self._root = None
+
+    def extend(self, items: Iterable[Tuple[Rect, Any]]) -> None:
+        for mbr, item in items:
+            self.insert(mbr, item)
+
+    def build(self) -> None:
+        """Materialise the aggregate tree from the buffered items."""
+        base = RTree.bulk_load(self._items, max_entries=self._max_entries)
+        self._root = _convert(base.root) if len(base) else _empty_node()
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def root(self) -> AggregateNode:
+        if self._root is None:
+            self.build()
+        assert self._root is not None
+        return self._root
+
+    def root_entries(self) -> List[AggregateEntry]:
+        """Return the entries of the root node (the starting join list)."""
+        return list(self.root.entries)
+
+    def total_count(self) -> int:
+        return self.root.count
+
+    def all_items(self) -> List[Any]:
+        """Return every indexed payload (used by tests and the naive join)."""
+        return [item for _, item in self._items]
+
+    def items_under(self, entry: AggregateEntry) -> List[Any]:
+        """Return all payloads covered by ``entry`` (its subtree)."""
+        if entry.is_leaf_entry:
+            return [entry.item]
+        collected: List[Any] = []
+        stack = [entry.node]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            if node.is_leaf:
+                collected.extend(e.item for e in node.entries)
+            else:
+                stack.extend(e.node for e in node.entries)
+        return collected
+
+
+def _convert(node: RTreeNode) -> AggregateNode:
+    """Recursively convert a plain R-tree node into an aggregate node."""
+    if node.is_leaf:
+        entries = [
+            AggregateEntry(mbr=e.mbr, count=1, node=None, item=e.item)
+            for e in node.entries
+        ]
+        return AggregateNode(
+            is_leaf=True,
+            entries=entries,
+            mbr=node.mbr,
+            count=len(entries),
+        )
+    child_nodes = [_convert(child) for child in node.children]
+    entries = [
+        AggregateEntry(mbr=child.mbr, count=child.count, node=child)
+        for child in child_nodes
+        if child.mbr is not None
+    ]
+    return AggregateNode(
+        is_leaf=False,
+        entries=entries,
+        mbr=node.mbr,
+        count=sum(child.count for child in child_nodes),
+    )
+
+
+def _empty_node() -> AggregateNode:
+    return AggregateNode(is_leaf=True, entries=[], mbr=None, count=0)

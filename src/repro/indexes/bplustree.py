@@ -1,0 +1,172 @@
+"""A B+-tree keyed on timestamps.
+
+An earlier formulation of the paper's flow algorithm indexes the IUPT with a
+B+-tree on the time attribute before the final version switches to the 1D
+R-tree.  Both are provided so that the index ablation benchmark
+(``benchmarks/test_bench_ablation_indexes.py``) can compare them; they expose
+the same ``insert`` / ``range_query`` interface.
+
+The implementation is a classic in-memory B+-tree with linked leaves, which
+makes the range scan a sequential walk over the leaf chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class _LeafNode(Generic[T]):
+    keys: List[float] = field(default_factory=list)
+    values: List[List[T]] = field(default_factory=list)
+    next: Optional["_LeafNode[T]"] = None
+
+
+@dataclass
+class _InnerNode(Generic[T]):
+    keys: List[float] = field(default_factory=list)
+    children: List[Any] = field(default_factory=list)
+
+
+class BPlusTree(Generic[T]):
+    """A B+-tree mapping float keys (timestamps) to lists of records.
+
+    Duplicate keys are supported: all records sharing a timestamp are stored
+    in the same leaf slot, which matches how multiple objects can report at
+    the same sampling instant.
+    """
+
+    def __init__(self, order: int = 32):
+        if order < 4:
+            raise ValueError("order must be at least 4")
+        self._order = order
+        self._root: Any = _LeafNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        height = 1
+        node = self._root
+        while isinstance(node, _InnerNode):
+            node = node.children[0]
+            height += 1
+        return height
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: float, value: T) -> None:
+        """Insert ``value`` under ``key``."""
+        result = self._insert(self._root, key, value)
+        if result is not None:
+            split_key, right = result
+            new_root: _InnerNode[T] = _InnerNode(keys=[split_key], children=[self._root, right])
+            self._root = new_root
+        self._size += 1
+
+    def _insert(self, node: Any, key: float, value: T) -> Optional[Tuple[float, Any]]:
+        if isinstance(node, _LeafNode):
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index].append(value)
+            else:
+                node.keys.insert(index, key)
+                node.values.insert(index, [value])
+            if len(node.keys) > self._order:
+                return self._split_leaf(node)
+            return None
+
+        index = _upper_bound(node.keys, key)
+        result = self._insert(node.children[index], key, value)
+        if result is None:
+            return None
+        split_key, right = result
+        node.keys.insert(index, split_key)
+        node.children.insert(index + 1, right)
+        if len(node.children) > self._order:
+            return self._split_inner(node)
+        return None
+
+    def _split_leaf(self, node: _LeafNode[T]) -> Tuple[float, _LeafNode[T]]:
+        middle = len(node.keys) // 2
+        right: _LeafNode[T] = _LeafNode(
+            keys=node.keys[middle:], values=node.values[middle:], next=node.next
+        )
+        node.keys = node.keys[:middle]
+        node.values = node.values[:middle]
+        node.next = right
+        return right.keys[0], right
+
+    def _split_inner(self, node: _InnerNode[T]) -> Tuple[float, _InnerNode[T]]:
+        middle = len(node.keys) // 2
+        split_key = node.keys[middle]
+        right: _InnerNode[T] = _InnerNode(
+            keys=node.keys[middle + 1 :], children=node.children[middle + 1 :]
+        )
+        node.keys = node.keys[:middle]
+        node.children = node.children[: middle + 1]
+        return split_key, right
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, key: float) -> List[T]:
+        """Return all records stored under exactly ``key``."""
+        leaf, index = self._find_leaf(key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return list(leaf.values[index])
+        return []
+
+    def range_query(self, start: float, end: float) -> List[T]:
+        """Return all records with keys in ``[start, end]`` in key order."""
+        if start > end:
+            raise ValueError("query interval start must not exceed its end")
+        leaf, index = self._find_leaf(start)
+        results: List[T] = []
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if key > end:
+                    return results
+                if key >= start:
+                    results.extend(leaf.values[index])
+                index += 1
+            leaf = leaf.next
+            index = 0
+        return results
+
+    def items(self) -> Iterator[Tuple[float, T]]:
+        """Yield every ``(key, value)`` pair in key order."""
+        node = self._root
+        while isinstance(node, _InnerNode):
+            node = node.children[0]
+        leaf: Optional[_LeafNode[T]] = node
+        while leaf is not None:
+            for key, bucket in zip(leaf.keys, leaf.values):
+                for value in bucket:
+                    yield key, value
+            leaf = leaf.next
+
+    def _find_leaf(self, key: float) -> Tuple[_LeafNode[T], int]:
+        node = self._root
+        while isinstance(node, _InnerNode):
+            node = node.children[_upper_bound(node.keys, key)]
+        return node, _lower_bound(node.keys, key)
+
+
+def _lower_bound(keys: List[float], key: float) -> int:
+    from bisect import bisect_left
+
+    return bisect_left(keys, key)
+
+
+def _upper_bound(keys: List[float], key: float) -> int:
+    from bisect import bisect_right
+
+    return bisect_right(keys, key)

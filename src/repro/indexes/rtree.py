@@ -1,0 +1,410 @@
+"""An in-memory R-tree over axis-aligned rectangles.
+
+The paper keeps several in-memory R-trees: one over indoor entities
+(S-locations, P-locations, doors) to answer geometric containment queries
+during pre-processing, one over the query S-locations (``RQ`` in Algorithm 4),
+and a COUNT-aggregate variant over moving objects (``RC``).  This module
+implements the plain R-tree with quadratic-split insertion and STR (Sort-Tile-
+Recursive) bulk loading; :mod:`repro.indexes.aggregate_rtree` builds the
+aggregate variant on top of it.
+
+The tree stores arbitrary Python objects keyed by their MBR.  Entries on
+different floors are kept apart naturally because cross-floor rectangles never
+intersect; the root may therefore span several floors, which only costs a few
+extra node visits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..geometry import Point, Rect
+
+DEFAULT_MAX_ENTRIES = 8
+
+
+@dataclass
+class RTreeEntry:
+    """A leaf-level entry: an MBR and the payload object it bounds."""
+
+    mbr: Rect
+    item: Any
+
+
+@dataclass
+class RTreeNode:
+    """An R-tree node.  Leaf nodes hold :class:`RTreeEntry`, inner nodes hold children."""
+
+    is_leaf: bool
+    entries: List[RTreeEntry] = field(default_factory=list)
+    children: List["RTreeNode"] = field(default_factory=list)
+    mbr: Optional[Rect] = None
+
+    def recompute_mbr(self) -> None:
+        rects: List[Rect]
+        if self.is_leaf:
+            rects = [e.mbr for e in self.entries]
+        else:
+            rects = [c.mbr for c in self.children if c.mbr is not None]
+        self.mbr = _union_across_floors(rects) if rects else None
+
+    def fanout(self) -> int:
+        return len(self.entries) if self.is_leaf else len(self.children)
+
+
+def _union_across_floors(rects: Sequence[Rect]) -> Rect:
+    """Union rectangles that may span several floors.
+
+    The result is only used for pruning, so a floor-agnostic bound (the floor
+    of the first rectangle, planar union of all) is acceptable: it is
+    conservative in x/y, and floor filtering happens at the entry level.
+    """
+    if not rects:
+        raise ValueError("cannot union an empty rectangle collection")
+    floor = rects[0].floor
+    xmin = min(r.xmin for r in rects)
+    ymin = min(r.ymin for r in rects)
+    xmax = max(r.xmax for r in rects)
+    ymax = max(r.ymax for r in rects)
+    same_floor = all(r.floor == floor for r in rects)
+    return Rect(xmin, ymin, xmax, ymax, floor if same_floor else -1)
+
+
+def _loose_intersects(a: Optional[Rect], b: Rect) -> bool:
+    """Planar intersection test that ignores the floor of multi-floor MBRs."""
+    if a is None:
+        return False
+    if a.floor != -1 and b.floor != -1 and a.floor != b.floor:
+        return False
+    return (
+        a.xmin <= b.xmax
+        and b.xmin <= a.xmax
+        and a.ymin <= b.ymax
+        and b.ymin <= a.ymax
+    )
+
+
+class RTree:
+    """A dynamic R-tree with quadratic splits and STR bulk loading.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum node fanout; minimum fanout is ``max(2, max_entries // 2)``.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        self._max_entries = max_entries
+        self._min_entries = max(2, max_entries // 2)
+        self._root = RTreeNode(is_leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def root(self) -> RTreeNode:
+        return self._root
+
+    @property
+    def height(self) -> int:
+        """Number of levels in the tree (a lone leaf root has height 1)."""
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    def items(self) -> Iterator[Tuple[Rect, Any]]:
+        """Yield all ``(mbr, item)`` pairs in the tree."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in node.entries:
+                    yield entry.mbr, entry.item
+            else:
+                stack.extend(node.children)
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, mbr: Rect, item: Any) -> None:
+        """Insert ``item`` with bounding rectangle ``mbr``."""
+        entry = RTreeEntry(mbr=mbr, item=item)
+        leaf, path = self._choose_leaf(entry.mbr)
+        leaf.entries.append(entry)
+        self._size += 1
+        self._adjust_upwards(leaf, path)
+
+    def insert_point(self, point: Point, item: Any) -> None:
+        """Insert ``item`` keyed by a degenerate point MBR."""
+        self.insert(Rect.from_point(point), item)
+
+    def _choose_leaf(self, mbr: Rect) -> Tuple[RTreeNode, List[RTreeNode]]:
+        node = self._root
+        path: List[RTreeNode] = []
+        while not node.is_leaf:
+            path.append(node)
+            node = min(
+                node.children,
+                key=lambda child: (
+                    _enlargement(child.mbr, mbr),
+                    child.mbr.area if child.mbr is not None else 0.0,
+                ),
+            )
+        return node, path
+
+    def _adjust_upwards(self, node: RTreeNode, path: List[RTreeNode]) -> None:
+        node.recompute_mbr()
+        split = self._split_if_needed(node)
+        for parent in reversed(path):
+            if split is not None:
+                parent.children.append(split)
+            parent.recompute_mbr()
+            split = self._split_if_needed(parent)
+        if split is not None:
+            old_root = self._root
+            self._root = RTreeNode(is_leaf=False, children=[old_root, split])
+            self._root.recompute_mbr()
+
+    def _split_if_needed(self, node: RTreeNode) -> Optional[RTreeNode]:
+        if node.fanout() <= self._max_entries:
+            return None
+        return self._quadratic_split(node)
+
+    def _quadratic_split(self, node: RTreeNode) -> RTreeNode:
+        if node.is_leaf:
+            items = list(node.entries)
+            mbr_of: Callable[[Any], Rect] = lambda e: e.mbr
+        else:
+            items = list(node.children)
+            mbr_of = lambda c: c.mbr  # type: ignore[assignment]
+
+        seed_a, seed_b = _pick_seeds(items, mbr_of)
+        group_a = [items[seed_a]]
+        group_b = [items[seed_b]]
+        remaining = [it for i, it in enumerate(items) if i not in (seed_a, seed_b)]
+        mbr_a = mbr_of(items[seed_a])
+        mbr_b = mbr_of(items[seed_b])
+
+        while remaining:
+            # If one group must absorb everything to reach the minimum, do so.
+            if len(group_a) + len(remaining) == self._min_entries:
+                group_a.extend(remaining)
+                for it in remaining:
+                    mbr_a = _loose_union(mbr_a, mbr_of(it))
+                remaining = []
+                break
+            if len(group_b) + len(remaining) == self._min_entries:
+                group_b.extend(remaining)
+                for it in remaining:
+                    mbr_b = _loose_union(mbr_b, mbr_of(it))
+                remaining = []
+                break
+            best_index = max(
+                range(len(remaining)),
+                key=lambda i: abs(
+                    _enlargement(mbr_a, mbr_of(remaining[i]))
+                    - _enlargement(mbr_b, mbr_of(remaining[i]))
+                ),
+            )
+            candidate = remaining.pop(best_index)
+            grow_a = _enlargement(mbr_a, mbr_of(candidate))
+            grow_b = _enlargement(mbr_b, mbr_of(candidate))
+            if grow_a < grow_b or (grow_a == grow_b and len(group_a) <= len(group_b)):
+                group_a.append(candidate)
+                mbr_a = _loose_union(mbr_a, mbr_of(candidate))
+            else:
+                group_b.append(candidate)
+                mbr_b = _loose_union(mbr_b, mbr_of(candidate))
+
+        sibling = RTreeNode(is_leaf=node.is_leaf)
+        if node.is_leaf:
+            node.entries = group_a
+            sibling.entries = group_b
+        else:
+            node.children = group_a
+            sibling.children = group_b
+        node.recompute_mbr()
+        sibling.recompute_mbr()
+        return sibling
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        items: Iterable[Tuple[Rect, Any]],
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> "RTree":
+        """Build an R-tree from ``(mbr, item)`` pairs using STR packing."""
+        tree = cls(max_entries=max_entries)
+        entries = [RTreeEntry(mbr=mbr, item=item) for mbr, item in items]
+        tree._size = len(entries)
+        if not entries:
+            return tree
+        leaves = _str_pack_leaves(entries, max_entries)
+        tree._root = _build_upper_levels(leaves, max_entries)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def search(self, window: Rect) -> List[Any]:
+        """Return the payloads of all entries whose MBR intersects ``window``."""
+        return [item for _, item in self.search_entries(window)]
+
+    def search_entries(self, window: Rect) -> List[Tuple[Rect, Any]]:
+        """Return ``(mbr, item)`` pairs of all entries intersecting ``window``."""
+        results: List[Tuple[Rect, Any]] = []
+        if self._size == 0:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not _loose_intersects(node.mbr, window):
+                continue
+            if node.is_leaf:
+                for entry in node.entries:
+                    if entry.mbr.intersects(window):
+                        results.append((entry.mbr, entry.item))
+            else:
+                stack.extend(node.children)
+        return results
+
+    def search_point(self, point: Point) -> List[Any]:
+        """Return the payloads of all entries whose MBR contains ``point``."""
+        return self.search(Rect.from_point(point))
+
+    def nearest(self, point: Point, count: int = 1) -> List[Tuple[float, Any]]:
+        """Return the ``count`` entries nearest to ``point`` as ``(distance, item)``.
+
+        A simple branch-and-bound traversal; adequate for the moderate tree
+        sizes used in the reproduction (P-location lookup during positioning).
+        """
+        import heapq
+
+        if self._size == 0:
+            return []
+        heap: List[Tuple[float, int, Any, bool]] = []
+        counter = 0
+        heapq.heappush(heap, (0.0, counter, self._root, False))
+        results: List[Tuple[float, Any]] = []
+        while heap and len(results) < count:
+            distance, _, payload, is_entry = heapq.heappop(heap)
+            if is_entry:
+                results.append((distance, payload))
+                continue
+            node: RTreeNode = payload
+            if node.is_leaf:
+                for entry in node.entries:
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (entry.mbr.distance_to_point(point), counter, entry.item, True),
+                    )
+            else:
+                for child in node.children:
+                    if child.mbr is None:
+                        continue
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (child.mbr.distance_to_point(point), counter, child, False),
+                    )
+        return results
+
+
+# ----------------------------------------------------------------------
+# Helpers shared with the aggregate R-tree
+# ----------------------------------------------------------------------
+def _enlargement(current: Optional[Rect], addition: Rect) -> float:
+    if current is None:
+        return addition.area
+    return _loose_union(current, addition).area - current.area
+
+
+def _loose_union(a: Rect, b: Rect) -> Rect:
+    """Union that tolerates different floors (marks the result floor as -1)."""
+    floor = a.floor if a.floor == b.floor else -1
+    return Rect(
+        min(a.xmin, b.xmin),
+        min(a.ymin, b.ymin),
+        max(a.xmax, b.xmax),
+        max(a.ymax, b.ymax),
+        floor,
+    )
+
+
+def _str_pack_leaves(entries: List[RTreeEntry], max_entries: int) -> List[RTreeNode]:
+    """Pack leaf nodes with the Sort-Tile-Recursive heuristic."""
+    import math
+
+    entries = sorted(entries, key=lambda e: (e.mbr.floor, e.mbr.center.x))
+    leaf_count = max(1, math.ceil(len(entries) / max_entries))
+    slice_count = max(1, math.ceil(math.sqrt(leaf_count)))
+    slice_size = max(1, math.ceil(len(entries) / slice_count))
+    leaves: List[RTreeNode] = []
+    for start in range(0, len(entries), slice_size):
+        vertical = sorted(
+            entries[start : start + slice_size], key=lambda e: e.mbr.center.y
+        )
+        for leaf_start in range(0, len(vertical), max_entries):
+            node = RTreeNode(
+                is_leaf=True, entries=vertical[leaf_start : leaf_start + max_entries]
+            )
+            node.recompute_mbr()
+            leaves.append(node)
+    return leaves
+
+
+def _build_upper_levels(nodes: List[RTreeNode], max_entries: int) -> RTreeNode:
+    """Stack packed nodes into upper levels until a single root remains."""
+    import math
+
+    while len(nodes) > 1:
+        nodes = sorted(
+            nodes,
+            key=lambda n: (n.mbr.floor if n.mbr else 0, n.mbr.center.x if n.mbr else 0.0),
+        )
+        parent_count = max(1, math.ceil(len(nodes) / max_entries))
+        slice_count = max(1, math.ceil(math.sqrt(parent_count)))
+        slice_size = max(1, math.ceil(len(nodes) / slice_count))
+        parents: List[RTreeNode] = []
+        for start in range(0, len(nodes), slice_size):
+            vertical = sorted(
+                nodes[start : start + slice_size],
+                key=lambda n: n.mbr.center.y if n.mbr else 0.0,
+            )
+            for parent_start in range(0, len(vertical), max_entries):
+                parent = RTreeNode(
+                    is_leaf=False,
+                    children=vertical[parent_start : parent_start + max_entries],
+                )
+                parent.recompute_mbr()
+                parents.append(parent)
+        nodes = parents
+    return nodes[0]
+
+
+def _pick_seeds(items: List[Any], mbr_of: Callable[[Any], Rect]) -> Tuple[int, int]:
+    """Pick the pair of entries wasting the most area if grouped together."""
+    best_pair = (0, 1)
+    best_waste = float("-inf")
+    for i in range(len(items)):
+        for j in range(i + 1, len(items)):
+            a, b = mbr_of(items[i]), mbr_of(items[j])
+            waste = _loose_union(a, b).area - a.area - b.area
+            if waste > best_waste:
+                best_waste = waste
+                best_pair = (i, j)
+    return best_pair

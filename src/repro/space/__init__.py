@@ -1,0 +1,35 @@
+"""Indoor space model: entities, floor plans, cells, GISL, MIL, routing."""
+
+from .cells import derive_cells, partition_to_cell
+from .distance import DoorGraphRouter, IndoorRoute
+from .entities import (
+    Cell,
+    Door,
+    Partition,
+    PartitionKind,
+    PLocation,
+    PLocationKind,
+    SLocation,
+)
+from .floorplan import FloorPlan, FloorPlanError
+from .graph import IndoorSpaceLocationGraph
+from .matrix import IndoorLocationMatrix, possible_cells_of_sequence
+
+__all__ = [
+    "Cell",
+    "Door",
+    "DoorGraphRouter",
+    "FloorPlan",
+    "FloorPlanError",
+    "IndoorLocationMatrix",
+    "IndoorRoute",
+    "IndoorSpaceLocationGraph",
+    "Partition",
+    "PartitionKind",
+    "PLocation",
+    "PLocationKind",
+    "SLocation",
+    "derive_cells",
+    "partition_to_cell",
+    "possible_cells_of_sequence",
+]

@@ -1,0 +1,194 @@
+"""Random-waypoint indoor movement simulator (Section 5.3).
+
+Objects follow the random waypoint model constrained to the indoor topology:
+an object repeatedly picks a random destination partition, walks there along
+the shortest indoor (door-to-door) route at a speed bounded by ``Vmax``,
+dwells for a random period, and moves on.  The exact location is recorded
+every second, producing the ground-truth trajectories used both by the
+positioning / RFID simulators and by the effectiveness metrics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..data.trajectory import Trajectory, TrajectoryPoint, TrajectoryStore
+from ..geometry import Point, interpolate
+from ..space import DoorGraphRouter, FloorPlan
+
+
+@dataclass(frozen=True)
+class MovementConfig:
+    """Parameters of the random waypoint simulation."""
+
+    max_speed: float = 1.0
+    min_speed: float = 0.4
+    dwell_min_seconds: float = 30.0
+    dwell_max_seconds: float = 180.0
+    tick_seconds: float = 1.0
+    min_lifespan_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_speed <= 0 or self.min_speed <= 0:
+            raise ValueError("speeds must be positive")
+        if self.min_speed > self.max_speed:
+            raise ValueError("min_speed cannot exceed max_speed")
+        if self.dwell_min_seconds > self.dwell_max_seconds:
+            raise ValueError("dwell_min_seconds cannot exceed dwell_max_seconds")
+        if self.tick_seconds <= 0:
+            raise ValueError("tick_seconds must be positive")
+        if not (0.0 < self.min_lifespan_fraction <= 1.0):
+            raise ValueError("min_lifespan_fraction must be in (0, 1]")
+
+
+class RandomWaypointSimulator:
+    """Simulates ground-truth trajectories over a floor plan."""
+
+    def __init__(
+        self,
+        plan: FloorPlan,
+        config: MovementConfig = MovementConfig(),
+        seed: Optional[int] = None,
+        movable_partitions: Optional[Sequence[int]] = None,
+    ):
+        self._plan = plan.freeze()
+        self._config = config
+        self._rng = random.Random(seed)
+        self._router = DoorGraphRouter(self._plan)
+        self._partitions = (
+            list(movable_partitions)
+            if movable_partitions is not None
+            else sorted(self._plan.partitions)
+        )
+        if not self._partitions:
+            raise ValueError("no partitions available for movement simulation")
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self, object_count: int, start_time: float, duration_seconds: float
+    ) -> TrajectoryStore:
+        """Simulate ``object_count`` objects over ``[start_time, start_time + duration]``."""
+        if object_count < 1:
+            raise ValueError("object_count must be positive")
+        if duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        store = TrajectoryStore()
+        for object_id in range(object_count):
+            store.add(self._simulate_object(object_id, start_time, duration_seconds))
+        return store
+
+    def _simulate_object(
+        self, object_id: int, start_time: float, duration_seconds: float
+    ) -> Trajectory:
+        config = self._config
+        rng = self._rng
+        lifespan = duration_seconds * rng.uniform(config.min_lifespan_fraction, 1.0)
+        begin = start_time + rng.uniform(0.0, duration_seconds - lifespan)
+        end = begin + lifespan
+
+        trajectory = Trajectory(object_id)
+        current = self._random_point_in(self._random_partition())
+        time_cursor = begin
+        self._record(trajectory, time_cursor, current)
+
+        while time_cursor < end:
+            destination_partition = self._random_partition()
+            destination = self._random_point_in(destination_partition)
+            time_cursor = self._walk(
+                trajectory, current, destination, time_cursor, end
+            )
+            current = destination if time_cursor < end else trajectory.points[-1].location
+            if time_cursor >= end:
+                break
+            time_cursor = self._dwell(trajectory, current, time_cursor, end)
+        return trajectory
+
+    # ------------------------------------------------------------------
+    # Movement phases
+    # ------------------------------------------------------------------
+    def _walk(
+        self,
+        trajectory: Trajectory,
+        origin: Point,
+        destination: Point,
+        start: float,
+        deadline: float,
+    ) -> float:
+        config = self._config
+        route = self._router.route(origin, destination)
+        if route is None:
+            # Disconnected targets should not occur in generated buildings,
+            # but if they do the object simply stays put for one tick.
+            self._record(trajectory, start + config.tick_seconds, origin)
+            return start + config.tick_seconds
+
+        speed = self._rng.uniform(config.min_speed, config.max_speed)
+        time_cursor = start
+        waypoints = list(route.waypoints)
+        position = waypoints[0]
+        for target in waypoints[1:]:
+            leg_length = position.distance_to(target)
+            if leg_length == float("inf"):
+                # Floor change inside a staircase: jump to the target point
+                # after a nominal climbing time.
+                climb_seconds = 8.0
+                steps = max(int(climb_seconds / config.tick_seconds), 1)
+                for _ in range(steps):
+                    time_cursor += config.tick_seconds
+                    if time_cursor > deadline:
+                        return time_cursor
+                    self._record(trajectory, time_cursor, position)
+                position = target
+                self._record(trajectory, time_cursor, position)
+                continue
+            travelled = 0.0
+            while travelled < leg_length:
+                time_cursor += config.tick_seconds
+                if time_cursor > deadline:
+                    return time_cursor
+                travelled = min(travelled + speed * config.tick_seconds, leg_length)
+                fraction = travelled / leg_length if leg_length > 0 else 1.0
+                self._record(trajectory, time_cursor, interpolate(position, target, fraction))
+            position = target
+        return time_cursor
+
+    def _dwell(
+        self, trajectory: Trajectory, position: Point, start: float, deadline: float
+    ) -> float:
+        config = self._config
+        dwell = self._rng.uniform(config.dwell_min_seconds, config.dwell_max_seconds)
+        time_cursor = start
+        elapsed = 0.0
+        while elapsed < dwell:
+            time_cursor += config.tick_seconds
+            if time_cursor > deadline:
+                return time_cursor
+            elapsed += config.tick_seconds
+            self._record(trajectory, time_cursor, position)
+        return time_cursor
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _random_partition(self) -> int:
+        return self._rng.choice(self._partitions)
+
+    def _random_point_in(self, partition_id: int) -> Point:
+        rect = self._plan.partitions[partition_id].rect
+        margin_x = min(0.5, rect.width / 4.0)
+        margin_y = min(0.5, rect.height / 4.0)
+        return Point(
+            self._rng.uniform(rect.xmin + margin_x, rect.xmax - margin_x),
+            self._rng.uniform(rect.ymin + margin_y, rect.ymax - margin_y),
+            rect.floor,
+        )
+
+    def _record(self, trajectory: Trajectory, timestamp: float, location: Point) -> None:
+        partition_id = self._plan.partition_containing(location)
+        trajectory.append(
+            TrajectoryPoint(timestamp=timestamp, location=location, partition_id=partition_id)
+        )

@@ -1,0 +1,156 @@
+"""WkNN-style probabilistic positioning simulator (Section 5.3).
+
+The synthetic IUPT is derived from the ground-truth trajectories the same way
+the paper describes: an object reports at most every ``T`` seconds; each
+report contains between 1 and ``mss`` samples; a sample's P-location is drawn
+from the reference points within ``µ`` metres of the object's true location;
+its probability is proportional to ``1 / (dist * (1 + γ))`` where ``γ`` is a
+small random perturbation — the weighting scheme of weighted k-nearest
+neighbour (WkNN) fingerprinting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..data.iupt import IUPT
+from ..data.records import Sample, SampleSet
+from ..data.trajectory import Trajectory, TrajectoryStore
+from ..geometry import Point, Rect
+from ..indexes import RTree
+from ..space import FloorPlan
+
+
+@dataclass(frozen=True)
+class PositioningConfig:
+    """Parameters of the positioning simulation."""
+
+    max_sample_set_size: int = 4
+    max_period_seconds: float = 3.0
+    min_period_seconds: float = 1.0
+    positioning_error: float = 2.5
+    weight_noise: float = 0.4
+    distance_epsilon: float = 0.25
+    candidate_radius_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_sample_set_size < 1:
+            raise ValueError("max_sample_set_size must be at least 1")
+        if self.min_period_seconds <= 0 or self.max_period_seconds < self.min_period_seconds:
+            raise ValueError("invalid reporting period bounds")
+        if self.positioning_error <= 0:
+            raise ValueError("positioning_error must be positive")
+        if not (0.0 <= self.weight_noise < 1.0):
+            raise ValueError("weight_noise must be in [0, 1)")
+        if self.candidate_radius_factor < 1.0:
+            raise ValueError("candidate_radius_factor must be at least 1")
+
+    @property
+    def candidate_radius(self) -> float:
+        """How far from the true location reported reference points may fall.
+
+        Wi-Fi fingerprints of nearby but wall-separated spots often match, so
+        the candidate pool spans a radius larger than the average positioning
+        error; the weighting still favours close reference points, keeping the
+        mean error near ``positioning_error``.
+        """
+        return self.positioning_error * self.candidate_radius_factor
+
+
+class WkNNPositioningSimulator:
+    """Turns ground-truth trajectories into an uncertain positioning table."""
+
+    def __init__(
+        self,
+        plan: FloorPlan,
+        config: PositioningConfig = PositioningConfig(),
+        seed: Optional[int] = None,
+    ):
+        self._plan = plan.freeze()
+        self._config = config
+        self._rng = random.Random(seed)
+        self._ploc_index = RTree.bulk_load(
+            (
+                (Rect.from_point(ploc.position), ploc.ploc_id)
+                for ploc in self._plan.plocations.values()
+            )
+        )
+
+    @property
+    def config(self) -> PositioningConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    # IUPT generation
+    # ------------------------------------------------------------------
+    def generate(self, trajectories: TrajectoryStore, index_kind: str = "1dr-tree") -> IUPT:
+        """Generate an IUPT covering every trajectory in the store."""
+        iupt = IUPT(index_kind=index_kind)
+        for trajectory in trajectories:
+            for timestamp, sample_set in self.reports_for(trajectory):
+                iupt.report(trajectory.object_id, sample_set, timestamp)
+        return iupt
+
+    def reports_for(self, trajectory: Trajectory) -> List[Tuple[float, SampleSet]]:
+        """The (timestamp, sample set) reports of one trajectory."""
+        reports: List[Tuple[float, SampleSet]] = []
+        if len(trajectory) == 0:
+            return reports
+        start, end = trajectory.time_span()
+        config = self._config
+        time_cursor = start
+        while time_cursor <= end:
+            location = trajectory.location_at(time_cursor)
+            if location is not None:
+                sample_set = self._sample_report(location)
+                if sample_set is not None:
+                    reports.append((time_cursor, sample_set))
+            time_cursor += self._rng.uniform(
+                config.min_period_seconds, config.max_period_seconds
+            )
+        return reports
+
+    # ------------------------------------------------------------------
+    # One report
+    # ------------------------------------------------------------------
+    def _sample_report(self, true_location: Point) -> Optional[SampleSet]:
+        config = self._config
+        candidates = self._candidate_plocations(true_location)
+        if not candidates:
+            return None
+        sample_count = self._rng.randint(1, config.max_sample_set_size)
+        sample_count = min(sample_count, len(candidates))
+        chosen = self._rng.sample(candidates, sample_count)
+
+        weighted: List[Tuple[int, float]] = []
+        for ploc_id in chosen:
+            position = self._plan.plocations[ploc_id].position
+            distance = max(position.distance_to(true_location), config.distance_epsilon)
+            noise = self._rng.uniform(-config.weight_noise, config.weight_noise)
+            weight = 1.0 / (distance * (1.0 + noise))
+            weighted.append((ploc_id, weight))
+        total = sum(weight for _, weight in weighted)
+        samples = [Sample(ploc_id, weight / total) for ploc_id, weight in weighted]
+        return SampleSet(samples, normalise=True)
+
+    def _candidate_plocations(self, true_location: Point) -> List[int]:
+        """Reference points within the positioning error radius of the true spot.
+
+        When the error radius captures nothing (sparse deployments), the
+        nearest reference point is used so the object is still reported,
+        mirroring how a fingerprinting system always returns its best match.
+        """
+        radius = self._config.candidate_radius
+        window = Rect.from_point(true_location, radius)
+        hits = [
+            ploc_id
+            for _, ploc_id in self._ploc_index.search_entries(window)
+            if self._plan.plocations[ploc_id].position.distance_to(true_location)
+            <= radius
+        ]
+        if hits:
+            return sorted(hits)
+        nearest = self._ploc_index.nearest(true_location, count=1)
+        return [item for _, item in nearest]

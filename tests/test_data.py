@@ -1,0 +1,190 @@
+"""Unit tests for the mobility data models (samples, IUPT, trajectories, RFID)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    IUPT,
+    PositioningRecord,
+    RFIDReader,
+    RFIDRecord,
+    RFIDTable,
+    Sample,
+    SampleSet,
+    Trajectory,
+    TrajectoryPoint,
+    TrajectoryStore,
+)
+from repro.geometry import Point
+
+
+class TestSampleSet:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            SampleSet.from_pairs([(1, 0.3), (2, 0.3)])
+
+    def test_normalise_rescales(self):
+        sample_set = SampleSet.from_pairs([(1, 2.0), (2, 2.0)], normalise=True)
+        assert sample_set.probability_of(1) == pytest.approx(0.5)
+
+    def test_duplicate_locations_are_merged(self):
+        sample_set = SampleSet.from_pairs([(1, 0.4), (1, 0.2), (2, 0.4)])
+        assert len(sample_set) == 2
+        assert sample_set.probability_of(1) == pytest.approx(0.6)
+
+    def test_most_probable(self):
+        sample_set = SampleSet.from_pairs([(1, 0.2), (2, 0.5), (3, 0.3)])
+        assert sample_set.most_probable().ploc_id == 2
+
+    def test_above_threshold(self):
+        sample_set = SampleSet.from_pairs([(1, 0.2), (2, 0.5), (3, 0.3)])
+        assert [s.ploc_id for s in sample_set.above_threshold(0.25)] == [2, 3]
+
+    def test_truncated_keeps_top_and_renormalises(self):
+        sample_set = SampleSet.from_pairs([(1, 0.5), (2, 0.3), (3, 0.2)])
+        truncated = sample_set.truncated(2)
+        assert truncated.plocation_set() == {1, 2}
+        assert sum(s.prob for s in truncated) == pytest.approx(1.0)
+        assert truncated.probability_of(1) == pytest.approx(0.625)
+
+    def test_truncated_noop_when_small_enough(self):
+        sample_set = SampleSet.certain(4)
+        assert sample_set.truncated(3) is sample_set
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SampleSet([])
+
+    def test_equality_and_hash(self):
+        a = SampleSet.from_pairs([(1, 0.5), (2, 0.5)])
+        b = SampleSet.from_pairs([(2, 0.5), (1, 0.5)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            Sample(1, -0.2)
+
+
+class TestIUPT:
+    def _build(self, index_kind="1dr-tree") -> IUPT:
+        iupt = IUPT(index_kind=index_kind)
+        for t in range(10):
+            iupt.report(object_id=t % 3, sample_set=SampleSet.certain(t), timestamp=float(t))
+        return iupt
+
+    def test_range_query_both_indexes_agree(self):
+        rtree_table = self._build("1dr-tree")
+        bplus_table = self._build("bplus-tree")
+        for window in ((0, 9), (2, 5), (7, 7)):
+            a = [(r.object_id, r.timestamp) for r in rtree_table.range_query(*window)]
+            b = [(r.object_id, r.timestamp) for r in bplus_table.range_query(*window)]
+            assert a == b
+
+    def test_sequences_in_groups_by_object_in_time_order(self):
+        iupt = self._build()
+        sequences = iupt.sequences_in(0, 9)
+        assert set(sequences) == {0, 1, 2}
+        assert len(sequences[0]) == 4  # reports at t = 0, 3, 6, 9
+
+    def test_with_max_sample_set_size(self):
+        iupt = IUPT()
+        iupt.report(1, SampleSet.from_pairs([(1, 0.5), (2, 0.3), (3, 0.2)]), 0.0)
+        truncated = iupt.with_max_sample_set_size(1)
+        record = truncated.range_query(0, 1)[0]
+        assert record.plocation_set() == {1}
+        assert len(iupt.range_query(0, 1)[0].sample_set) == 3  # original untouched
+
+    def test_unknown_index_kind(self):
+        with pytest.raises(ValueError):
+            IUPT(index_kind="hash")
+
+    def test_summary_and_span(self):
+        iupt = self._build()
+        summary = iupt.summary()
+        assert summary["records"] == 10
+        assert summary["objects"] == 3
+        assert iupt.time_span() == (0.0, 9.0)
+
+    def test_filtered_to_objects(self):
+        iupt = self._build()
+        only_zero = iupt.filtered_to_objects([0])
+        assert only_zero.object_ids() == [0]
+
+
+class TestTrajectory:
+    def _trajectory(self) -> Trajectory:
+        return Trajectory(
+            7,
+            [
+                TrajectoryPoint(0.0, Point(1, 1), partition_id=0),
+                TrajectoryPoint(1.0, Point(2, 1), partition_id=0),
+                TrajectoryPoint(2.0, Point(6, 1), partition_id=1),
+            ],
+        )
+
+    def test_location_at(self):
+        trajectory = self._trajectory()
+        assert trajectory.location_at(-1.0) is None
+        assert trajectory.location_at(0.5) == Point(1, 1)
+        assert trajectory.location_at(5.0) == Point(6, 1)
+
+    def test_points_in_and_partitions_visited(self):
+        trajectory = self._trajectory()
+        assert len(trajectory.points_in(0.5, 2.0)) == 2
+        assert trajectory.partitions_visited(0.0, 2.0) == {0, 1}
+
+    def test_append_out_of_order_rejected(self):
+        trajectory = self._trajectory()
+        with pytest.raises(ValueError):
+            trajectory.append(TrajectoryPoint(1.5, Point(0, 0)))
+
+    def test_store_visit_counts(self):
+        plan_points = [Point(1, 1), Point(6, 1)]
+        from tests.test_space import two_room_plan
+
+        plan = two_room_plan().freeze()
+        store = TrajectoryStore()
+        store.add(self._trajectory())
+        counts = store.true_visit_counts(plan, 0.0, 2.0)
+        assert counts[0] == 1 and counts[1] == 1
+        del plan_points
+
+
+class TestRFID:
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            RFIDRecord(1, 1, ts=5.0, te=1.0)
+
+    def test_table_requires_known_reader(self):
+        table = RFIDTable()
+        with pytest.raises(ValueError):
+            table.append(RFIDRecord(1, 99, 0.0, 1.0))
+
+    def test_records_by_object_sorted(self):
+        reader = RFIDReader(0, Point(0, 0), 3.0)
+        table = RFIDTable([reader])
+        table.extend(
+            [
+                RFIDRecord(1, 0, 5.0, 6.0),
+                RFIDRecord(1, 0, 1.0, 2.0),
+                RFIDRecord(2, 0, 0.0, 0.5),
+            ]
+        )
+        grouped = table.records_by_object(0.0, 10.0)
+        assert [r.ts for r in grouped[1]] == [1.0, 5.0]
+        assert table.object_ids() == [1, 2]
+
+    def test_reader_detects_within_range(self):
+        reader = RFIDReader(0, Point(0, 0), 3.0)
+        assert reader.detects(Point(2.9, 0))
+        assert not reader.detects(Point(3.5, 0))
+        assert not reader.detects(Point(0, 0, floor=1))
+
+    def test_records_in_overlap_semantics(self):
+        reader = RFIDReader(0, Point(0, 0), 3.0)
+        table = RFIDTable([reader])
+        table.append(RFIDRecord(1, 0, 10.0, 20.0))
+        assert table.records_in(0.0, 9.9) == []
+        assert len(table.records_in(15.0, 30.0)) == 1

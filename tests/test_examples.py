@@ -1,0 +1,48 @@
+"""The example scripts must run end to end (they are part of the public API surface)."""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"missing example script {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart_runs_and_ranks_locations(capsys):
+    output = _run_example("quickstart.py", capsys)
+    assert "Top-2 most popular semantic locations" in output
+    assert "flow" in output
+
+
+def test_exhibition_analytics_runs(capsys):
+    output = _run_example("exhibition_analytics.py", capsys)
+    assert "Top-5 exhibition areas" in output
+    assert "Kendall tau" in output
+
+
+def test_mall_rental_ranking_runs(capsys):
+    output = _run_example("mall_rental_ranking.py", capsys)
+    assert "Suggested rental tiers" in output
+    assert "All exact algorithms agree" in output
+
+
+def test_algorithm_comparison_runs(capsys):
+    output = _run_example("algorithm_comparison.py", capsys)
+    assert "Fastest exact method" in output
+    assert "bf" in output
+
+
+def test_examples_directory_contains_at_least_three_scripts():
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 3
+    assert "quickstart.py" in scripts

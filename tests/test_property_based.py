@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.paths import build_possible_paths, total_candidate_probability
+from repro.core.presence import PresenceComputation
+from repro.data import SampleSet
+from repro.eval.metrics import kendall_coefficient, recall_at_k
+from repro.geometry import Point, Rect
+from repro.indexes import BPlusTree, OneDimensionalRTree, RTree
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+coordinates = st.floats(min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coordinates), draw(coordinates)))
+    y1, y2 = sorted((draw(coordinates), draw(coordinates)))
+    return Rect(x1, y1, x2, y2)
+
+
+@st.composite
+def sample_sets(draw):
+    size = draw(st.integers(min_value=1, max_value=5))
+    locations = draw(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=size, max_size=size, unique=True)
+    )
+    weights = draw(
+        st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=size, max_size=size)
+    )
+    pairs = list(zip(locations, weights))
+    return SampleSet.from_pairs(pairs, normalise=True)
+
+
+# ----------------------------------------------------------------------
+# Geometry invariants
+# ----------------------------------------------------------------------
+class TestRectProperties:
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        union = a.union(b)
+        assert union.contains_rect(a)
+        assert union.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_intersection_symmetric_and_contained(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+        overlap = a.intersection(b)
+        if overlap is not None:
+            assert a.contains_rect(overlap)
+            assert b.contains_rect(overlap)
+            assert overlap.area <= min(a.area, b.area) + 1e-6
+
+    @given(rects())
+    def test_expansion_monotone(self, rect):
+        assert rect.expanded(1.0).area >= rect.area
+
+    @given(rects(), coordinates, coordinates)
+    def test_distance_zero_iff_contained(self, rect, x, y):
+        point = Point(x, y)
+        distance = rect.distance_to_point(point)
+        assert (distance == 0.0) == rect.contains_point(point)
+
+
+# ----------------------------------------------------------------------
+# Index invariants: always agree with brute force
+# ----------------------------------------------------------------------
+class TestIndexProperties:
+    @given(st.lists(rects(), min_size=1, max_size=60), rects())
+    @settings(max_examples=40, deadline=None)
+    def test_rtree_matches_brute_force(self, rect_list, window):
+        items = [(rect, index) for index, rect in enumerate(rect_list)]
+        tree = RTree.bulk_load(items)
+        expected = sorted(index for rect, index in items if rect.intersects(window))
+        assert sorted(tree.search(window)) == expected
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False), min_size=1, max_size=200),
+        st.floats(min_value=0, max_value=1000),
+        st.floats(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_time_indexes_agree(self, timestamps, a, b):
+        start, end = min(a, b), max(a, b)
+        rtree: OneDimensionalRTree[int] = OneDimensionalRTree(leaf_capacity=8, fanout=4)
+        bptree: BPlusTree[int] = BPlusTree(order=8)
+        for index, ts in enumerate(timestamps):
+            rtree.insert(ts, index)
+            bptree.insert(ts, index)
+        expected = [i for ts, i in sorted(zip(timestamps, range(len(timestamps)))) if start <= ts <= end]
+        assert rtree.range_query(start, end) == expected
+        assert sorted(bptree.range_query(start, end)) == sorted(expected)
+
+
+# ----------------------------------------------------------------------
+# Data model and presence invariants
+# ----------------------------------------------------------------------
+class TestSampleSetProperties:
+    @given(sample_sets())
+    def test_probabilities_normalised(self, sample_set):
+        assert sum(s.prob for s in sample_set) == pytest.approx(1.0)
+
+    @given(sample_sets(), st.integers(min_value=1, max_value=4))
+    def test_truncation_keeps_most_probable(self, sample_set, mss):
+        truncated = sample_set.truncated(mss)
+        assert len(truncated) <= mss
+        assert sum(s.prob for s in truncated) == pytest.approx(1.0)
+        dropped = sample_set.plocation_set() - truncated.plocation_set()
+        if dropped:
+            max_dropped = max(sample_set.probability_of(loc) for loc in dropped)
+            min_kept = min(
+                sample_set.probability_of(loc) for loc in truncated.plocation_set()
+            )
+            assert max_dropped <= min_kept + 1e-9
+
+
+class TestPresenceProperties:
+    @given(sequence=st.lists(sample_sets(), min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_presence_always_in_unit_interval(self, figure1, sequence):
+        matrix = figure1["matrix"]
+        # Remap arbitrary P-location ids onto the Figure 1 ids so the matrix knows them.
+        plocs = sorted(figure1["plocs"].values())
+        remapped = []
+        for sample_set in sequence:
+            pairs = [
+                (plocs[sample.ploc_id % len(plocs)], sample.prob) for sample in sample_set
+            ]
+            remapped.append(SampleSet.from_pairs(pairs, normalise=True))
+        paths = build_possible_paths(remapped, matrix)
+        presence = PresenceComputation(
+            paths, candidate_mass=total_candidate_probability(remapped)
+        )
+        for cell_id in figure1["graph"].cells:
+            value = presence.presence_in_cell(cell_id)
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    @given(sequence=st.lists(sample_sets(), min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_valid_path_mass_never_exceeds_candidate_mass(self, figure1, sequence):
+        matrix = figure1["matrix"]
+        plocs = sorted(figure1["plocs"].values())
+        remapped = [
+            SampleSet.from_pairs(
+                [(plocs[s.ploc_id % len(plocs)], s.prob) for s in sample_set],
+                normalise=True,
+            )
+            for sample_set in sequence
+        ]
+        paths = build_possible_paths(remapped, matrix)
+        assert sum(p.probability for p in paths) <= total_candidate_probability(remapped) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Metric invariants
+# ----------------------------------------------------------------------
+class TestMetricProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=8, unique=True))
+    def test_kendall_identity_and_reverse(self, ranking):
+        assert kendall_coefficient(ranking, ranking) == pytest.approx(1.0)
+        if len(ranking) > 1:
+            assert kendall_coefficient(list(reversed(ranking)), ranking) == pytest.approx(-1.0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=8, unique=True),
+        st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=8, unique=True),
+    )
+    def test_kendall_bounded_and_symmetricish(self, a, b):
+        value = kendall_coefficient(a, b)
+        assert -1.0 <= value <= 1.0
+        assert kendall_coefficient(b, a) == pytest.approx(value)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=8, unique=True),
+        st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=8, unique=True),
+    )
+    def test_recall_bounded(self, a, b):
+        assert 0.0 <= recall_at_k(a, b) <= 1.0
