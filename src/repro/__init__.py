@@ -46,6 +46,16 @@ from .core import (
     TkPLQuery,
 )
 from .data import IUPT, PositioningRecord, Sample, SampleSet, Trajectory, TrajectoryStore
+from .engine import (
+    BatchPlanner,
+    BatchReport,
+    CacheStats,
+    EngineConfig,
+    ExecutionContext,
+    PresenceStore,
+    QueryEngine,
+    QueryPipeline,
+)
 from .eval import (
     MethodOutcome,
     kendall_coefficient,
@@ -68,13 +78,22 @@ from .synth import (
     build_university_floorplan,
 )
 
-__version__ = "1.0.0"
+# 2.0.0: the execution-engine layer. The query API (flow/flows/top_k/search)
+# is unchanged, but ObjectComputationCache is now keyed by query set and
+# traffics in StoredPresence artefacts — a breaking change for callers of
+# that class.
+__version__ = "2.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "BatchPlanner",
+    "BatchReport",
     "BestFirstTkPLQ",
+    "CacheStats",
     "DataReducer",
     "DataReductionConfig",
+    "EngineConfig",
+    "ExecutionContext",
     "FloorPlan",
     "FlowComputer",
     "IUPT",
@@ -91,6 +110,9 @@ __all__ = [
     "PositioningRecord",
     "PossiblePath",
     "PresenceComputation",
+    "PresenceStore",
+    "QueryEngine",
+    "QueryPipeline",
     "RankedLocation",
     "Rect",
     "Sample",

@@ -31,14 +31,18 @@ import heapq
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 from ..data.iupt import IUPT
 from ..data.records import SampleSet
 from ..geometry import Rect
 from ..indexes import AggregateEntry, CountAggregateRTree, RTree, RTreeNode
-from .flow import FlowComputer, ObjectComputationCache
+from .flow import FlowComputer
 from .query import RankedLocation, SearchStats, TkPLQResult, TkPLQuery, rank_top_k
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a core → engine import)
+    from ..engine.cache import StoredPresence
+    from ..engine.context import ExecutionContext
 
 
 @dataclass
@@ -87,19 +91,22 @@ class BestFirstTkPLQ:
             sloc_id: graph.parent_cell(sloc_id) for sloc_id in query_set
         }
 
-        # Phase 1: data preparation and the object aggregate R-tree.
-        sequences = iupt.sequences_in(query.start, query.end)
-        stats.objects_total = len(sequences)
-        reduced_sequences: Dict[int, Tuple[SampleSet, ...]] = {}
+        # Phase 1: data preparation and the object aggregate R-tree.  The
+        # per-object reduction runs through the engine pipeline (with path
+        # construction deferred — the guided join only builds paths for the
+        # candidates it actually visits).
+        pipeline = self._flow_computer.pipeline
+        ctx = pipeline.context(query.interval, query_set, stats=stats)
+        sequences = pipeline.fetch.run(ctx, iupt)
+        presences: Dict[int, "StoredPresence"] = {}
         aggregate = CountAggregateRTree(max_entries=self._fanout)
-        for object_id in sorted(sequences):
-            reduced = self._flow_computer.reduce_object(
-                sequences[object_id], query_set, stats.reduction_stats
-            )
-            if reduced.pruned:
+        for object_id, entry in pipeline.presences(
+            ctx, sequences, build_paths=False
+        ):
+            if entry.pruned:
                 continue
-            reduced_sequences[object_id] = reduced.sequence
-            for mbr in self._psl_mbrs(plan, reduced.psls):
+            presences[object_id] = entry
+            for mbr in self._psl_mbrs(plan, entry.psls):
                 aggregate.insert(mbr, object_id)
         aggregate.build()
 
@@ -118,7 +125,6 @@ class BestFirstTkPLQ:
             self._join_and_push(heap, counter, entry, root_list, stats)
 
         # Phase 3: the guided join.
-        cache = ObjectComputationCache()
         emitted: List[RankedLocation] = []
         flows: Dict[int, float] = {}
 
@@ -141,10 +147,10 @@ class BestFirstTkPLQ:
                     continue
                 if all(e.is_leaf_entry for e in join_list):
                     flow_value = self._exact_flow(
+                        ctx,
                         join_list,
-                        reduced_sequences,
+                        presences,
                         parent_cells.get(sloc_id),
-                        cache,
                         stats,
                     )
                     self._push(
@@ -258,26 +264,29 @@ class BestFirstTkPLQ:
 
     def _exact_flow(
         self,
+        ctx: "ExecutionContext",
         join_list: Sequence[AggregateEntry],
-        reduced_sequences: Dict[int, Tuple[SampleSet, ...]],
+        presences: Dict[int, "StoredPresence"],
         cell_id: Optional[int],
-        cache: ObjectComputationCache,
         stats: SearchStats,
     ) -> float:
-        """Compute the exact flow of a leaf query entry from its candidate objects."""
+        """Compute the exact flow of a leaf query entry from its candidate objects.
+
+        Path construction is performed lazily per candidate through the
+        pipeline, which memoises it on the shared presence artefact (and in
+        the cross-query store, when one is attached) — the per-object sharing
+        that Section 4.1 obtained from a per-query cache.
+        """
         if cell_id is None:
             return 0.0
+        pipeline = self._flow_computer.pipeline
         object_ids = sorted({entry.item for entry in join_list})
         flow_value = 0.0
         for object_id in object_ids:
-            computation = cache.get(object_id)
-            if computation is None:
-                sequence = reduced_sequences.get(object_id)
-                if sequence is None:
-                    continue
-                computation = self._flow_computer.presence_computation(sequence, stats)
-                cache.put(object_id, computation)
-                stats.note_object_computed(object_id)
+            stored = presences.get(object_id)
+            if stored is None:
+                continue
+            stored = pipeline.build_paths_for(ctx, object_id, stored)
             stats.flow_evaluations += 1
-            flow_value += computation.presence_in_cell(cell_id)
+            flow_value += stored.computation.presence_in_cell(cell_id)
         return flow_value

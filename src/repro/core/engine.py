@@ -2,26 +2,30 @@
 
 :class:`IndoorFlowSystem` is the public entry point most users need: it takes
 a floor plan, derives the indoor space location graph and the (merged) indoor
-location matrix, and exposes flow computation and the three TkPLQ search
-algorithms behind a single object.
+location matrix, and deploys a :class:`~repro.engine.runtime.QueryEngine` over
+them.  Flow computation, the three TkPLQ search algorithms, and batched
+multi-query evaluation are all exposed behind a single object; the historical
+``flow`` / ``flows`` / ``top_k`` / ``search`` methods are thin wrappers over
+the engine, so pre-engine callers keep working unchanged (and transparently
+gain the engine's cross-query presence store).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..data.iupt import IUPT
+from ..engine.batch import BatchReport
+from ..engine.config import EngineConfig
+from ..engine.runtime import ALGORITHMS, QueryEngine
 from ..space.floorplan import FloorPlan
 from ..space.graph import IndoorSpaceLocationGraph
 from ..space.matrix import IndoorLocationMatrix
-from .best_first import BestFirstTkPLQ
 from .flow import FlowComputer, FlowResult
-from .naive import NaiveTkPLQ
-from .nested_loop import NestedLoopTkPLQ
 from .query import TkPLQResult, TkPLQuery
 from .reduction import DataReductionConfig
 
-ALGORITHMS = ("naive", "nested-loop", "best-first")
+__all__ = ["ALGORITHMS", "IndoorFlowSystem"]
 
 
 class IndoorFlowSystem:
@@ -37,6 +41,10 @@ class IndoorFlowSystem:
     reduction:
         The data reduction configuration; disable it to obtain the ``-ORG``
         behaviour studied in Section 5.2.1.
+    engine_config:
+        Execution-engine configuration (executor kind, worker count, presence
+        store capacity).  The default is serial execution with a bounded
+        cross-query presence store.
     """
 
     def __init__(
@@ -44,30 +52,29 @@ class IndoorFlowSystem:
         plan: FloorPlan,
         use_merged_matrix: bool = True,
         reduction: DataReductionConfig = DataReductionConfig.enabled(),
+        engine_config: Optional[EngineConfig] = None,
     ):
         self.plan = plan.freeze()
         self.graph = IndoorSpaceLocationGraph.from_floorplan(self.plan)
         raw_matrix = IndoorLocationMatrix.from_graph(self.graph)
         self.matrix = raw_matrix.merged(self.graph) if use_merged_matrix else raw_matrix
-        self.flow_computer = FlowComputer(self.graph, self.matrix, reduction)
-        self._algorithms = {
-            "naive": NaiveTkPLQ(self.flow_computer),
-            "nested-loop": NestedLoopTkPLQ(self.flow_computer),
-            "best-first": BestFirstTkPLQ(self.flow_computer),
-        }
+        self.engine = QueryEngine(
+            self.graph, self.matrix, reduction, config=engine_config
+        )
+        self.flow_computer: FlowComputer = self.engine.flow_computer
 
     # ------------------------------------------------------------------
     # Flow computation
     # ------------------------------------------------------------------
     def flow(self, iupt: IUPT, sloc_id: int, start: float, end: float) -> FlowResult:
         """Indoor flow of one S-location over ``[start, end]`` (Algorithm 2)."""
-        return self.flow_computer.flow(iupt, sloc_id, start, end)
+        return self.engine.flow(iupt, sloc_id, start, end)
 
     def flows(
         self, iupt: IUPT, sloc_ids: Sequence[int], start: float, end: float
     ) -> Dict[int, float]:
         """Flows of several S-locations, sharing per-object work."""
-        return self.flow_computer.flows_for_all(iupt, sloc_ids, start, end)
+        return self.engine.flows(iupt, sloc_ids, start, end)
 
     # ------------------------------------------------------------------
     # TkPLQ
@@ -85,22 +92,38 @@ class IndoorFlowSystem:
 
         ``algorithm`` is one of ``"naive"``, ``"nested-loop"``, ``"best-first"``.
         """
-        query = TkPLQuery.build(query_slocations, k, start, end)
-        return self.search(iupt, query, algorithm)
+        return self.engine.top_k(iupt, query_slocations, k, start, end, algorithm)
 
     def search(
         self, iupt: IUPT, query: TkPLQuery, algorithm: str = "best-first"
     ) -> TkPLQResult:
         """Answer an already constructed :class:`TkPLQuery`."""
-        if algorithm not in self._algorithms:
-            raise ValueError(
-                f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
-            )
-        return self._algorithms[algorithm].search(iupt, query)
+        return self.engine.search(iupt, query, algorithm)
 
     # ------------------------------------------------------------------
-    # Introspection
+    # Batched evaluation
     # ------------------------------------------------------------------
+    def batch(self, iupt: IUPT, queries: Sequence[TkPLQuery]) -> BatchReport:
+        """Answer many TkPLQ queries in one pass, sharing per-object work."""
+        return self.engine.batch(iupt, queries)
+
+    def batch_top_k(
+        self, iupt: IUPT, queries: Sequence[TkPLQuery]
+    ) -> List[TkPLQResult]:
+        """Like :meth:`batch`, returning just the per-query results."""
+        return self.engine.batch_top_k(iupt, queries)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, float]:
+        """Hit/miss statistics of the engine's cross-query presence store."""
+        return self.engine.cache_stats()
+
+    def close(self) -> None:
+        """Release engine resources (parallel worker pools)."""
+        self.engine.close()
+
     def summary(self) -> Dict[str, int]:
         """Structural summary of the deployed model (plan, graph, matrix)."""
         info: Dict[str, int] = {}

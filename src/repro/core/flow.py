@@ -4,13 +4,31 @@
 window from the time index, groups them per object, reduces every object's
 sequence (Algorithm 1), constructs the valid possible paths on the reduced
 sequence, and accumulates the object presences into the indoor flow of ``q``.
+
+Since the execution-engine refactor the computation itself lives in the
+staged pipeline of :mod:`repro.engine.stages` (fetch → reduce → paths →
+presence); :class:`FlowComputer` remains the home of the per-object
+primitives (the reducer, path construction, Equation 1) and keeps its
+historical API as a thin driver over the pipeline.  A bare ``FlowComputer``
+lazily builds a private serial pipeline without cross-query caching, which
+reproduces the pre-engine behaviour exactly; a
+:class:`~repro.engine.runtime.QueryEngine` attaches its shared pipeline
+(presence store + executor) through :meth:`FlowComputer.use_pipeline`.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from ..data.iupt import IUPT
 from ..data.records import SampleSet
@@ -25,6 +43,10 @@ from .presence import PresenceComputation
 from .query import SearchStats
 from .reduction import DataReducer, DataReductionConfig, ReductionStats
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.cache import StoredPresence
+    from ..engine.stages import QueryPipeline
+
 
 @dataclass
 class FlowResult:
@@ -36,28 +58,52 @@ class FlowResult:
 
 
 class ObjectComputationCache:
-    """Per-query cache of reduced sequences and presence computations.
+    """Per-query cache of per-object presence artefacts, keyed by query set.
 
     The nested-loop and best-first algorithms must not re-construct the paths
     of an object that is relevant to several query locations (the
     "intermediate result sharing" of Section 4.1); this cache provides that
     sharing.  The naive algorithm deliberately bypasses it.
+
+    Entries are :class:`~repro.engine.cache.StoredPresence` artefacts keyed by
+    ``(object_id, frozenset(query_slocations))``.  The query-set component
+    matters because ``DataReducer.reduce`` is query-dependent (its pruning
+    decision, and potentially future reductions, depend on the query set): a
+    presence reduced under one location set must never be served for another.
+    Historically this class was keyed by object id alone, which let
+    ``flows_for_all`` reuse one location's reduction for a different location
+    — see the regression tests in ``tests/test_engine.py``.
     """
 
     def __init__(self) -> None:
-        self._presence: Dict[int, PresenceComputation] = {}
+        self._entries: Dict[
+            Tuple[int, Optional[FrozenSet[int]]], "StoredPresence"
+        ] = {}
 
-    def __contains__(self, object_id: int) -> bool:
-        return object_id in self._presence
+    @staticmethod
+    def _key(
+        object_id: int, query_slocations: Optional[Iterable[int]]
+    ) -> Tuple[int, Optional[FrozenSet[int]]]:
+        qkey = None if query_slocations is None else frozenset(query_slocations)
+        return (object_id, qkey)
 
-    def get(self, object_id: int) -> Optional[PresenceComputation]:
-        return self._presence.get(object_id)
+    def get(
+        self,
+        object_id: int,
+        query_slocations: Optional[Iterable[int]] = None,
+    ) -> Optional["StoredPresence"]:
+        return self._entries.get(self._key(object_id, query_slocations))
 
-    def put(self, object_id: int, computation: PresenceComputation) -> None:
-        self._presence[object_id] = computation
+    def put(
+        self,
+        object_id: int,
+        entry: "StoredPresence",
+        query_slocations: Optional[Iterable[int]] = None,
+    ) -> None:
+        self._entries[self._key(object_id, query_slocations)] = entry
 
     def __len__(self) -> int:
-        return len(self._presence)
+        return len(self._entries)
 
 
 class FlowComputer:
@@ -74,6 +120,7 @@ class FlowComputer:
         self._matrix = matrix
         self._reducer = DataReducer(graph, matrix, reduction)
         self._max_paths_per_object = max_paths_per_object
+        self._pipeline: Optional["QueryPipeline"] = None
 
     @property
     def graph(self) -> IndoorSpaceLocationGraph:
@@ -86,6 +133,37 @@ class FlowComputer:
     @property
     def reducer(self) -> DataReducer:
         return self._reducer
+
+    # ------------------------------------------------------------------
+    # Pipeline wiring
+    # ------------------------------------------------------------------
+    @property
+    def pipeline(self) -> "QueryPipeline":
+        """The staged pipeline this computer drives its queries through.
+
+        Bare computers build a private serial pipeline without cross-query
+        caching on first use (the pre-engine behaviour); computers owned by a
+        :class:`~repro.engine.runtime.QueryEngine` share the engine's
+        pipeline, store, and executor.
+        """
+        if self._pipeline is None:
+            # Imported lazily: the engine layer builds on this module.
+            from ..engine.stages import QueryPipeline
+
+            self._pipeline = QueryPipeline(self)
+        return self._pipeline
+
+    def use_pipeline(self, pipeline: "QueryPipeline") -> None:
+        """Attach the pipeline of an owning engine (store + executor)."""
+        self._pipeline = pipeline
+
+    def __getstate__(self) -> dict:
+        # The pipeline (presence store lock, worker pools) is a runtime
+        # attachment, not part of the computer's identity; dropping it keeps
+        # the computer picklable for process-pool fan-out.
+        state = self.__dict__.copy()
+        state["_pipeline"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Per-object presence
@@ -139,25 +217,9 @@ class FlowComputer:
         stats: Optional[SearchStats] = None,
     ) -> FlowResult:
         """Compute the indoor flow of S-location ``sloc_id`` over ``[start, end]``."""
-        own_stats = stats if stats is not None else SearchStats()
-        began = time.perf_counter()
-
-        cell_id = self._graph.parent_cell(sloc_id)
-        sequences = iupt.sequences_in(start, end)
-        own_stats.objects_total = max(own_stats.objects_total, len(sequences))
-
-        flow_value = 0.0
-        for object_id in sorted(sequences):
-            presence = self._presence_for_object(
-                object_id, sequences[object_id], {sloc_id}, cache, own_stats
-            )
-            if presence is None:
-                continue
-            own_stats.flow_evaluations += 1
-            flow_value += presence.presence_in_cell(cell_id)
-
-        own_stats.elapsed_seconds += time.perf_counter() - began
-        return FlowResult(sloc_id=sloc_id, flow=flow_value, stats=own_stats)
+        pipeline = self.pipeline
+        ctx = pipeline.context((start, end), frozenset({sloc_id}), stats=stats)
+        return pipeline.flow(ctx, iupt, sloc_id, legacy_cache=cache)
 
     def flows_for_all(
         self,
@@ -165,42 +227,20 @@ class FlowComputer:
         sloc_ids: Sequence[int],
         start: float,
         end: float,
+        stats: Optional[SearchStats] = None,
     ) -> Dict[int, float]:
-        """Flows for several S-locations, sharing one cache (used by examples)."""
-        cache = ObjectComputationCache()
-        stats = SearchStats()
-        return {
-            sloc_id: self.flow(iupt, sloc_id, start, end, cache=cache, stats=stats).flow
-            for sloc_id in sloc_ids
-        }
+        """Flows for several S-locations, sharing one per-object pass.
+
+        Every object is reduced once against the union of the requested
+        locations; the per-location pruning decision is taken from the
+        object's possible semantic locations, so each returned flow is
+        exactly what an independent :meth:`flow` call would compute.
+        """
+        return self.pipeline.flows_for_all(iupt, sloc_ids, start, end, stats=stats)
 
     # ------------------------------------------------------------------
     # Shared internals (also used by the TkPLQ algorithms)
     # ------------------------------------------------------------------
-    def _presence_for_object(
-        self,
-        object_id: int,
-        sequence: Sequence[SampleSet],
-        query_slocations: Optional[Set[int]],
-        cache: Optional[ObjectComputationCache],
-        stats: SearchStats,
-    ) -> Optional[PresenceComputation]:
-        """Reduce + path-construct one object, honouring the cache and stats."""
-        if cache is not None:
-            cached = cache.get(object_id)
-            if cached is not None:
-                return cached
-        reduced = self._reducer.reduce(
-            sequence, query_slocations, stats.reduction_stats
-        )
-        if reduced.pruned:
-            return None
-        computation = self.presence_computation(reduced.sequence, stats)
-        stats.note_object_computed(object_id)
-        if cache is not None:
-            cache.put(object_id, computation)
-        return computation
-
     def reduce_object(
         self,
         sequence: Sequence[SampleSet],

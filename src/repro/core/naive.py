@@ -32,8 +32,11 @@ class NaiveTkPLQ:
 
         flows: Dict[int, float] = {}
         for sloc_id in query.query_slocations:
-            # Deliberately no shared cache: every call re-reduces and
-            # re-constructs the paths of every relevant object.
+            # Deliberately no shared per-query cache: every call re-reduces
+            # and re-constructs the paths of every relevant object.  (Each
+            # per-location flow runs through the staged pipeline, whose
+            # cross-query store keys by location set — so distinct locations
+            # never share work here either.)
             result = self._flow_computer.flow(
                 iupt, sloc_id, query.start, query.end, cache=None, stats=stats
             )

@@ -6,6 +6,11 @@ reduces each object's sequence *once* against the full query set, constructs
 its valid possible paths *once*, and then scores every relevant query location
 against those shared paths.  The per-object local scores are aggregated into
 global flows and the top-k is obtained by a full ranking.
+
+The per-object work (reduce → path construction) runs through the staged
+pipeline of the execution engine, so it transparently benefits from the
+cross-query presence store and the parallel executor when the computer is
+owned by a :class:`~repro.engine.runtime.QueryEngine`.
 """
 
 from __future__ import annotations
@@ -14,8 +19,34 @@ import time
 from typing import Dict, Set
 
 from ..data.iupt import IUPT
-from .flow import FlowComputer, ObjectComputationCache
+from .flow import FlowComputer
 from .query import SearchStats, TkPLQResult, TkPLQuery, rank_top_k
+
+
+def score_presence_into_flows(
+    entry,
+    query_set: Set[int],
+    parent_cells: Dict[int, int],
+    flows: Dict[int, float],
+    stats: SearchStats,
+) -> None:
+    """Score one object's presence artefact against a query's locations.
+
+    The inner scoring kernel of Algorithm 3: only the query locations the
+    object may actually have visited (its PSLs) are evaluated; all other
+    locations receive zero presence.  Shared by :class:`NestedLoopTkPLQ` and
+    the :class:`~repro.engine.batch.BatchPlanner`, whose bit-for-bit
+    equivalence depends on both using exactly this kernel.
+    """
+    if entry.pruned:
+        return
+    relevant = entry.psls & query_set
+    for sloc_id in relevant:
+        cell_id = parent_cells.get(sloc_id)
+        if cell_id is None:
+            continue
+        stats.flow_evaluations += 1
+        flows[sloc_id] += entry.computation.presence_in_cell(cell_id)
 
 
 class NestedLoopTkPLQ:
@@ -38,33 +69,13 @@ class NestedLoopTkPLQ:
             if cell_id is not None:
                 parent_cells[sloc_id] = cell_id
 
-        sequences = iupt.sequences_in(query.start, query.end)
-        stats.objects_total = len(sequences)
+        pipeline = self._flow_computer.pipeline
+        ctx = pipeline.context(query.interval, query_set, stats=stats)
+        sequences = pipeline.fetch.run(ctx, iupt)
 
         flows: Dict[int, float] = {sloc_id: 0.0 for sloc_id in query.query_slocations}
-        cache = ObjectComputationCache()
-
-        for object_id in sorted(sequences):
-            reduced = self._flow_computer.reduce_object(
-                sequences[object_id], query_set, stats.reduction_stats
-            )
-            if reduced.pruned:
-                continue
-            computation = self._flow_computer.presence_computation(
-                reduced.sequence, stats
-            )
-            cache.put(object_id, computation)
-            stats.note_object_computed(object_id)
-
-            # Score only the query locations the object may actually have
-            # visited (its PSLs); all other locations receive zero presence.
-            relevant = reduced.psls & query_set
-            for sloc_id in relevant:
-                cell_id = parent_cells.get(sloc_id)
-                if cell_id is None:
-                    continue
-                stats.flow_evaluations += 1
-                flows[sloc_id] += computation.presence_in_cell(cell_id)
+        for _object_id, entry in pipeline.presences(ctx, sequences):
+            score_presence_into_flows(entry, query_set, parent_cells, flows, stats)
 
         stats.elapsed_seconds = time.perf_counter() - began
         return TkPLQResult(

@@ -78,6 +78,42 @@ class SearchStats:
         self.computed_object_ids.add(object_id)
         self.objects_computed = len(self.computed_object_ids)
 
+    def note_objects_total(self, count: int) -> None:
+        """Record ``|O|`` of one window fetch.
+
+        Every fetch over the same window reports the same count, so the
+        accumulator keeps the maximum: shared-stats callers (the naive
+        algorithm's per-location flow calls, ``flows_for_all``) see the
+        window's object population exactly once instead of a sum or a
+        last-write-wins value.
+        """
+        self.objects_total = max(self.objects_total, count)
+
+    def merge(self, other: "SearchStats", same_window: bool = True) -> None:
+        """Fold another accumulator into this one.
+
+        Used to combine the per-worker statistics of parallel presence
+        computations (each worker collects into a private ``SearchStats``)
+        and, more generally, to aggregate per-stage accounting.
+
+        ``same_window`` states whether both sides describe the same window
+        fetch: if so ``objects_total`` keeps the maximum (the population was
+        counted once per fetch of the same window); if the sides cover
+        *different* windows — e.g. aggregating the groups of a multi-window
+        batch — the populations are distinct fetches and sum instead.
+        """
+        self.elapsed_seconds += other.elapsed_seconds
+        if same_window:
+            self.note_objects_total(other.objects_total)
+        else:
+            self.objects_total += other.objects_total
+        self.flow_evaluations += other.flow_evaluations
+        self.heap_operations += other.heap_operations
+        self.path_stats.merge(other.path_stats)
+        self.reduction_stats.merge(other.reduction_stats)
+        self.computed_object_ids |= other.computed_object_ids
+        self.objects_computed = len(self.computed_object_ids)
+
     @property
     def pruning_ratio(self) -> float:
         if self.objects_total == 0:

@@ -69,6 +69,17 @@ class ReductionStats:
     candidate_paths_before: int = 0
     candidate_paths_after: int = 0
 
+    def merge(self, other: "ReductionStats") -> None:
+        """Fold another accumulator into this one (parallel-worker merging)."""
+        self.objects_seen += other.objects_seen
+        self.objects_pruned += other.objects_pruned
+        self.sample_sets_before += other.sample_sets_before
+        self.sample_sets_after += other.sample_sets_after
+        self.samples_before += other.samples_before
+        self.samples_after += other.samples_after
+        self.candidate_paths_before += other.candidate_paths_before
+        self.candidate_paths_after += other.candidate_paths_after
+
     def record(self, before: Sequence[SampleSet], after: Sequence[SampleSet]) -> None:
         self.sample_sets_before += len(before)
         self.sample_sets_after += len(after)

@@ -9,11 +9,14 @@ index is also available for the index ablation study.
 
 from __future__ import annotations
 
+import itertools
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..indexes import BPlusTree, OneDimensionalRTree
 from .records import PositioningRecord, SampleSet
+
+_TABLE_UIDS = itertools.count(1)
 
 
 class IUPT:
@@ -38,6 +41,8 @@ class IUPT:
         self._records: List[PositioningRecord] = []
         self._rtree: OneDimensionalRTree[PositioningRecord] = OneDimensionalRTree()
         self._bptree: BPlusTree[PositioningRecord] = BPlusTree()
+        self._uid = next(_TABLE_UIDS)
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Loading
@@ -47,6 +52,7 @@ class IUPT:
         self._records.append(record)
         self._rtree.insert(record.timestamp, record)
         self._bptree.insert(record.timestamp, record)
+        self._version += 1
 
     def extend(self, records: Iterable[PositioningRecord]) -> None:
         for record in records:
@@ -65,6 +71,17 @@ class IUPT:
     @property
     def index_kind(self) -> str:
         return self._index_kind
+
+    @property
+    def data_key(self) -> Tuple[int, int]:
+        """Identity-and-version token of the table's current contents.
+
+        Changes whenever a record is appended (and differs between table
+        instances), so caches of derived per-object artefacts — the engine's
+        :class:`~repro.engine.cache.PresenceStore` — can key on it and never
+        serve results computed from an older state of the table.
+        """
+        return (self._uid, self._version)
 
     @property
     def records(self) -> Sequence[PositioningRecord]:
@@ -111,13 +128,17 @@ class IUPT:
         """Group the records of a window into per-object positioning sequences.
 
         Corresponds to the hash table ``HO : {oid} -> {X}`` construction at
-        the top of Algorithms 2-4.  The sequences preserve time order.
+        the top of Algorithms 2-4.  The sequences preserve time order, and
+        the returned mapping iterates in ascending object-id order — the
+        deterministic iteration order every flow computation and search
+        algorithm relies on (callers must not re-sort).
         """
         grouped: Dict[int, List[Tuple[float, SampleSet]]] = defaultdict(list)
         for record in self.range_query(start, end):
             grouped[record.object_id].append((record.timestamp, record.sample_set))
         sequences: Dict[int, List[SampleSet]] = {}
-        for object_id, pairs in grouped.items():
+        for object_id in sorted(grouped):
+            pairs = grouped[object_id]
             pairs.sort(key=lambda item: item[0])
             sequences[object_id] = [sample_set for _, sample_set in pairs]
         return sequences

@@ -1,0 +1,51 @@
+"""The execution-engine layer: staged pipeline, caching, batching, fan-out.
+
+This package turns the core algorithms into an explicit execution engine:
+
+* :mod:`~repro.engine.config` — :class:`EngineConfig`, the engine's knobs;
+* :mod:`~repro.engine.context` — :class:`ExecutionContext`, per-query state;
+* :mod:`~repro.engine.cache` — :class:`PresenceStore`, the cross-query LRU
+  cache of per-object presence artefacts;
+* :mod:`~repro.engine.stages` — the composable pipeline stages
+  (fetch → reduce → paths → presence) and :class:`QueryPipeline`;
+* :mod:`~repro.engine.executors` — serial / thread / process executors;
+* :mod:`~repro.engine.batch` — :class:`BatchPlanner`, many queries per pass;
+* :mod:`~repro.engine.runtime` — :class:`QueryEngine`, the facade everything
+  (including :class:`~repro.core.engine.IndoorFlowSystem`) goes through.
+"""
+
+from .batch import BATCH_ALGORITHM, BatchPlanner, BatchReport
+from .cache import CacheStats, PresenceStore, StoredPresence, make_store_key
+from .config import EXECUTOR_KINDS, EngineConfig
+from .context import ExecutionContext
+from .executors import ParallelExecutor, SerialExecutor, make_executor
+from .runtime import QueryEngine
+from .stages import (
+    FetchStage,
+    PathStage,
+    PresenceStage,
+    QueryPipeline,
+    ReduceStage,
+)
+
+__all__ = [
+    "BATCH_ALGORITHM",
+    "BatchPlanner",
+    "BatchReport",
+    "CacheStats",
+    "EXECUTOR_KINDS",
+    "EngineConfig",
+    "ExecutionContext",
+    "FetchStage",
+    "ParallelExecutor",
+    "PathStage",
+    "PresenceStage",
+    "PresenceStore",
+    "QueryEngine",
+    "QueryPipeline",
+    "ReduceStage",
+    "SerialExecutor",
+    "StoredPresence",
+    "make_executor",
+    "make_store_key",
+]

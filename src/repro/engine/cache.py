@@ -1,0 +1,176 @@
+"""The cross-query presence store.
+
+The per-query ``ObjectComputationCache`` of :mod:`repro.core.flow` shares
+per-object work *within* one query; the :class:`PresenceStore` here shares it
+*across* queries.  Entries are keyed by
+
+    ``(object_id, (start, end), frozenset(query_slocations), data_key)``
+
+because all four ingredients determine the stored artefact: the window fixes
+which reports enter the object's sequence, the query S-location set fixes
+the outcome of the query-dependent data reduction (Algorithm 1 prunes an
+object exactly when its possible semantic locations miss the query set), and
+the ``data_key`` — the IUPT's identity-and-version token — pins the state of
+the underlying table, so streaming new reports in (or querying a different
+table through the same engine) can never be answered from stale artefacts.
+Keying by the query set is what makes the store safe where the historical
+shared-``ObjectComputationCache`` pattern was not — a presence reduced under
+one location set can never be handed to a different one.
+
+The store is LRU-bounded, thread-safe (the parallel executor probes it from
+worker threads), and keeps hit/miss/eviction statistics so experiments can
+report cache effectiveness.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from ..core.presence import PresenceComputation
+from ..data.records import SampleSet
+
+#: Cache key: (object id, window, query-set key, data identity/version).
+StoreKey = Tuple[
+    int,
+    Tuple[float, float],
+    Optional[FrozenSet[int]],
+    Optional[Tuple[int, int]],
+]
+
+
+def make_store_key(
+    object_id: int,
+    window: Tuple[float, float],
+    query_slocations: Optional[Iterable[int]],
+    data_key: Optional[Tuple[int, int]] = None,
+) -> StoreKey:
+    """Normalise the key ingredients into a hashable store key.
+
+    ``query_slocations=None`` (reduction without PSL pruning) is a distinct
+    key from any concrete query set; ``data_key`` is the
+    :attr:`~repro.data.iupt.IUPT.data_key` of the table the artefact was
+    computed from.
+    """
+    qkey = None if query_slocations is None else frozenset(query_slocations)
+    return (object_id, (float(window[0]), float(window[1])), qkey, data_key)
+
+
+@dataclass
+class StoredPresence:
+    """The per-object artefact cached by the store.
+
+    The reduction result (``psls``, ``sequence``, ``pruned``) is always
+    present; ``computation`` — the constructed possible paths — is filled in
+    lazily because the best-first algorithm reduces every object but only
+    builds paths for the candidates its guided join actually visits.
+    """
+
+    psls: FrozenSet[int]
+    sequence: Tuple[SampleSet, ...]
+    pruned: bool
+    computation: Optional[PresenceComputation] = None
+
+    @property
+    def has_paths(self) -> bool:
+        return self.computation is not None
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`PresenceStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class PresenceStore:
+    """LRU-bounded, thread-safe cross-query cache of per-object presences."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._capacity = capacity
+        self._entries: "OrderedDict[StoreKey, StoredPresence]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: StoreKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        object_id: int,
+        window: Tuple[float, float],
+        query_slocations: Optional[Iterable[int]],
+        data_key: Optional[Tuple[int, int]] = None,
+    ) -> Optional[StoredPresence]:
+        """Return the stored artefact, or ``None`` on a miss."""
+        key = make_store_key(object_id, window, query_slocations, data_key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(
+        self,
+        object_id: int,
+        window: Tuple[float, float],
+        query_slocations: Optional[Iterable[int]],
+        entry: StoredPresence,
+        data_key: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        """Insert (or refresh) an artefact, evicting the LRU entry if full."""
+        key = make_store_key(object_id, window, query_slocations, data_key)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = entry
+            self.stats.puts += 1
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.stats = CacheStats()

@@ -1,0 +1,86 @@
+"""Configuration of the query execution engine.
+
+:class:`EngineConfig` gathers every knob of the execution-engine layer in one
+immutable object so that callers (and experiments) can describe *how* queries
+are executed independently of *what* is computed:
+
+``executor``
+    ``"serial"`` (default) runs every per-object presence computation inline;
+    ``"thread"`` fans the computations out over a thread pool (useful when the
+    per-object work releases the GIL or performs I/O); ``"process"`` uses a
+    process pool for CPU-bound fan-out (the indoor model is pickled to the
+    workers once per chunk, so it only pays off for large object populations).
+``max_workers``
+    Pool size for the parallel executors; ``None`` lets
+    :mod:`concurrent.futures` pick its default.
+``parallel_threshold``
+    Minimum number of per-object computations in one stage invocation before
+    the engine bothers fanning out; below it the serial path is used even when
+    a parallel executor is configured.
+``presence_store_capacity``
+    Bound of the cross-query :class:`~repro.engine.cache.PresenceStore` (LRU
+    entries).  ``0`` disables cross-query caching entirely, which reproduces
+    the pre-engine behaviour where every query starts cold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Immutable description of how the execution engine runs queries."""
+
+    executor: str = "serial"
+    max_workers: Optional[int] = None
+    parallel_threshold: int = 8
+    presence_store_capacity: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected one of {EXECUTOR_KINDS}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1 (or None for the default)")
+        if self.parallel_threshold < 0:
+            raise ValueError("parallel_threshold must be non-negative")
+        if self.presence_store_capacity < 0:
+            raise ValueError("presence_store_capacity must be non-negative")
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.executor != "serial"
+
+    @property
+    def caching_enabled(self) -> bool:
+        return self.presence_store_capacity > 0
+
+    @staticmethod
+    def serial() -> "EngineConfig":
+        """The default configuration: inline execution, caching on."""
+        return EngineConfig()
+
+    @staticmethod
+    def parallel(
+        max_workers: Optional[int] = None, kind: str = "thread"
+    ) -> "EngineConfig":
+        """A parallel configuration fanning per-object work over a pool."""
+        return EngineConfig(executor=kind, max_workers=max_workers)
+
+    @staticmethod
+    def uncached() -> "EngineConfig":
+        """Serial execution without the cross-query presence store."""
+        return EngineConfig(presence_store_capacity=0)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "executor": self.executor,
+            "max_workers": self.max_workers,
+            "parallel_threshold": self.parallel_threshold,
+            "presence_store_capacity": self.presence_store_capacity,
+        }

@@ -1,0 +1,102 @@
+"""Pluggable executors fanning per-object work across workers.
+
+The engine's unit of parallelism is one object's presence computation
+(reduce → path construction), which is pure given the indoor model and the
+object's positioning sequence.  Executors therefore only need an ordered
+``map``: results must come back in input order so that flow accumulation
+stays bit-for-bit deterministic regardless of the executor used.
+
+``SerialExecutor`` runs inline.  ``ParallelExecutor`` wraps a
+:mod:`concurrent.futures` pool — threads by default (cheap, shares the
+in-memory model; pays off when path construction releases the GIL or when
+the per-object work is dominated by native code), or processes for CPU-bound
+fan-out (the callable and the indoor model are pickled to the workers, so
+tasks are submitted in chunks to amortise that cost).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import Executor as _FuturesExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from .config import EngineConfig
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+class SerialExecutor:
+    """Run every task inline, in input order."""
+
+    kind = "serial"
+
+    def map(
+        self, fn: Callable[[ItemT], ResultT], items: Sequence[ItemT]
+    ) -> List[ResultT]:
+        return [fn(item) for item in items]
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+
+class ParallelExecutor:
+    """Ordered parallel ``map`` over a thread or process pool.
+
+    The underlying pool is created lazily on first use and kept alive until
+    :meth:`close`, so repeated queries do not pay pool start-up costs.
+    """
+
+    def __init__(self, kind: str = "thread", max_workers: Optional[int] = None):
+        if kind not in ("thread", "process"):
+            raise ValueError(f"unknown parallel executor kind {kind!r}")
+        self.kind = kind
+        self._max_workers = max_workers
+        self._pool: Optional[_FuturesExecutor] = None
+
+    def _ensure_pool(self) -> _FuturesExecutor:
+        if self._pool is None:
+            if self.kind == "thread":
+                self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+        return self._pool
+
+    @property
+    def max_workers(self) -> int:
+        # Mirrors the stdlib pool defaults without touching private attrs.
+        if self._max_workers is not None:
+            return self._max_workers
+        cpus = os.cpu_count() or 1
+        return min(32, cpus + 4) if self.kind == "thread" else cpus
+
+    def map(
+        self, fn: Callable[[ItemT], ResultT], items: Sequence[ItemT]
+    ) -> List[ResultT]:
+        pool = self._ensure_pool()
+        if self.kind == "process":
+            # Chunk so the pickled callable (which carries the indoor model)
+            # crosses the process boundary O(workers) times, not O(objects).
+            chunksize = max(1, math.ceil(len(items) / self.max_workers))
+            return list(pool.map(fn, items, chunksize=chunksize))
+        return list(pool.map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def make_executor(config: EngineConfig):
+    """Build the executor described by an :class:`EngineConfig`."""
+    if config.executor == "serial":
+        return SerialExecutor()
+    return ParallelExecutor(kind=config.executor, max_workers=config.max_workers)

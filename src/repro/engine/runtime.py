@@ -1,0 +1,167 @@
+"""The :class:`QueryEngine` — the execution-engine facade.
+
+A ``QueryEngine`` owns one :class:`~repro.core.flow.FlowComputer` (the
+reduction / path primitives), one cross-query
+:class:`~repro.engine.cache.PresenceStore`, one executor, and the three TkPLQ
+algorithms wired to the shared :class:`~repro.engine.stages.QueryPipeline`.
+It is the layer every entry point goes through:
+
+* :meth:`flow` / :meth:`flows` — Algorithm 2 through the staged pipeline;
+* :meth:`search` / :meth:`top_k` — the naive, nested-loop and best-first
+  algorithms, sharing the engine's store and executor;
+* :meth:`batch` / :meth:`batch_top_k` — many queries in one pass through the
+  :class:`~repro.engine.batch.BatchPlanner`;
+* :meth:`cache_stats` / :meth:`reset_cache` — cache introspection.
+
+:class:`~repro.core.engine.IndoorFlowSystem` builds one of these from a floor
+plan and keeps its historical API as thin wrappers, so existing callers get
+the engine (and its caching) without code changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.best_first import BestFirstTkPLQ
+from ..core.flow import FlowComputer, FlowResult
+from ..core.naive import NaiveTkPLQ
+from ..core.nested_loop import NestedLoopTkPLQ
+from ..core.query import SearchStats, TkPLQResult, TkPLQuery
+from ..core.reduction import DataReductionConfig
+from ..data.iupt import IUPT
+from ..space.graph import IndoorSpaceLocationGraph
+from ..space.matrix import IndoorLocationMatrix
+from .batch import BatchPlanner, BatchReport
+from .cache import PresenceStore
+from .config import EngineConfig
+from .stages import QueryPipeline
+
+ALGORITHMS = ("naive", "nested-loop", "best-first")
+
+
+class QueryEngine:
+    """Execute flow computations and TkPLQ queries over one indoor model."""
+
+    def __init__(
+        self,
+        graph: IndoorSpaceLocationGraph,
+        matrix: IndoorLocationMatrix,
+        reduction: DataReductionConfig = DataReductionConfig.enabled(),
+        config: Optional[EngineConfig] = None,
+        max_paths_per_object: Optional[int] = 1024,
+        rtree_fanout: int = 8,
+    ):
+        self.config = config or EngineConfig()
+        self.store: Optional[PresenceStore] = (
+            PresenceStore(self.config.presence_store_capacity)
+            if self.config.caching_enabled
+            else None
+        )
+        self.flow_computer = FlowComputer(
+            graph, matrix, reduction, max_paths_per_object
+        )
+        self.pipeline = QueryPipeline(
+            self.flow_computer, store=self.store, config=self.config
+        )
+        # The computer drives its flow()/flows_for_all() through this
+        # pipeline, so legacy callers holding the computer share the engine's
+        # store and executor.
+        self.flow_computer.use_pipeline(self.pipeline)
+        self.planner = BatchPlanner(self.pipeline)
+        self._algorithms = {
+            "naive": NaiveTkPLQ(self.flow_computer),
+            "nested-loop": NestedLoopTkPLQ(self.flow_computer),
+            "best-first": BestFirstTkPLQ(self.flow_computer, rtree_fanout),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the executor's worker pool (if any)."""
+        self.pipeline.close()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Flow computation (Algorithm 2)
+    # ------------------------------------------------------------------
+    def flow(
+        self,
+        iupt: IUPT,
+        sloc_id: int,
+        start: float,
+        end: float,
+        stats: Optional[SearchStats] = None,
+    ) -> FlowResult:
+        """Indoor flow of one S-location through the staged pipeline."""
+        ctx = self.pipeline.context((start, end), frozenset({sloc_id}), stats=stats)
+        return self.pipeline.flow(ctx, iupt, sloc_id)
+
+    def flows(
+        self, iupt: IUPT, sloc_ids: Sequence[int], start: float, end: float
+    ) -> Dict[int, float]:
+        """Flows of several S-locations, sharing one per-object pass."""
+        return self.pipeline.flows_for_all(iupt, sloc_ids, start, end)
+
+    # ------------------------------------------------------------------
+    # TkPLQ
+    # ------------------------------------------------------------------
+    def search(
+        self, iupt: IUPT, query: TkPLQuery, algorithm: str = "best-first"
+    ) -> TkPLQResult:
+        """Answer one TkPLQ with the chosen algorithm."""
+        if algorithm not in self._algorithms:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        return self._algorithms[algorithm].search(iupt, query)
+
+    def top_k(
+        self,
+        iupt: IUPT,
+        query_slocations: Sequence[int],
+        k: int,
+        start: float,
+        end: float,
+        algorithm: str = "best-first",
+    ) -> TkPLQResult:
+        """Convenience wrapper building the query in place."""
+        query = TkPLQuery.build(query_slocations, k, start, end)
+        return self.search(iupt, query, algorithm)
+
+    # ------------------------------------------------------------------
+    # Batched evaluation
+    # ------------------------------------------------------------------
+    def batch(self, iupt: IUPT, queries: Sequence[TkPLQuery]) -> BatchReport:
+        """Answer many queries in one pass, sharing per-object work."""
+        return self.planner.execute(iupt, queries)
+
+    def batch_top_k(
+        self, iupt: IUPT, queries: Sequence[TkPLQuery]
+    ) -> List[TkPLQResult]:
+        """Like :meth:`batch`, returning just the per-query results."""
+        return self.batch(iupt, queries).results
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, float]:
+        """Hit/miss statistics of the cross-query presence store."""
+        if self.store is None:
+            return {"enabled": 0.0}
+        summary = self.store.stats.as_dict()
+        summary["enabled"] = 1.0
+        summary["entries"] = float(len(self.store))
+        summary["capacity"] = float(self.store.capacity)
+        return summary
+
+    def reset_cache(self) -> None:
+        """Drop every cached presence artefact (statistics included)."""
+        if self.store is not None:
+            self.store.clear()
+            self.store.reset_stats()

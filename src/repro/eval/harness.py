@@ -21,14 +21,12 @@ from ..baselines import (
     UncertaintyRegionFlow,
 )
 from ..core import (
-    BestFirstTkPLQ,
     DataReductionConfig,
     FlowComputer,
-    NaiveTkPLQ,
-    NestedLoopTkPLQ,
     TkPLQResult,
     TkPLQuery,
 )
+from ..engine import BatchReport, EngineConfig, QueryEngine
 from ..synth.scenario import Scenario
 from .ground_truth import ground_truth_ranking
 from .metrics import kendall_coefficient, recall_at_k
@@ -180,15 +178,49 @@ def _execute(
     raise AssertionError(f"unhandled method {method!r}")
 
 
+_ALGORITHM_NAMES = {"bf": "best-first", "nl": "nested-loop", "naive": "naive"}
+
+
 def _run_search(
     scenario: Scenario,
     algorithm: str,
     query: TkPLQuery,
     reduction: DataReductionConfig,
 ) -> TkPLQResult:
-    computer = FlowComputer(scenario.system.graph, scenario.system.matrix, reduction)
-    if algorithm == "bf":
-        return BestFirstTkPLQ(computer).search(scenario.iupt, query)
-    if algorithm == "nl":
-        return NestedLoopTkPLQ(computer).search(scenario.iupt, query)
-    return NaiveTkPLQ(computer).search(scenario.iupt, query)
+    # A fresh engine without the cross-query presence store: the paper's
+    # efficiency experiments measure each method cold, so no cached artefact
+    # may leak between the repeated runs of one sweep.
+    engine = _search_engine(scenario, reduction)
+    return engine.search(scenario.iupt, query, _ALGORITHM_NAMES[algorithm])
+
+
+def _search_engine(
+    scenario: Scenario,
+    reduction: DataReductionConfig,
+    config: Optional[EngineConfig] = None,
+) -> QueryEngine:
+    return QueryEngine(
+        scenario.system.graph,
+        scenario.system.matrix,
+        reduction,
+        config=config or EngineConfig.uncached(),
+    )
+
+
+def run_batched(
+    scenario: Scenario,
+    queries: Sequence[TkPLQuery],
+    reduction: DataReductionConfig = DataReductionConfig.enabled(),
+    engine_config: Optional[EngineConfig] = None,
+) -> BatchReport:
+    """Answer many TkPLQ queries in one batched pass over the scenario.
+
+    The batch planner groups queries by window and shares the per-object
+    reduce/path work across every query of a group; the per-query rankings
+    are identical to independent ``run_method(..., "nl", ...)`` calls.
+    """
+    engine = _search_engine(scenario, reduction, config=engine_config)
+    try:
+        return engine.batch(scenario.iupt, queries)
+    finally:
+        engine.close()

@@ -10,19 +10,28 @@ from .config import (
     synth_scale,
 )
 from .registry import EXPERIMENTS, experiment_names, run_experiment
-from .runner import QuerySetting, evaluate, format_table, single_query_outcome
+from .runner import (
+    QuerySetting,
+    batched_outcome,
+    evaluate,
+    format_table,
+    overlapping_queries,
+    single_query_outcome,
+)
 
 __all__ = [
     "EXPERIMENTS",
     "QuerySetting",
     "REAL_DEFAULTS",
     "SYNTH_DEFAULTS",
+    "batched_outcome",
     "clear_scenario_cache",
     "evaluate",
     "experiment_names",
     "format_table",
     "get_real_scenario",
     "get_synth_scenario",
+    "overlapping_queries",
     "real_scale",
     "run_experiment",
     "single_query_outcome",

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core import TkPLQuery
-from ..eval import MethodOutcome, run_method
+from ..eval import MethodOutcome, run_batched, run_method
 from ..eval.ground_truth import ground_truth_ranking
 from ..synth import Scenario
 
@@ -118,6 +118,53 @@ def single_query_outcome(
         sc_rho=setting.sc_rho,
         mc_rounds=setting.mc_rounds,
     )
+
+
+def overlapping_queries(
+    scenario: Scenario,
+    count: int,
+    k: int = 3,
+    q_fraction: float = 0.5,
+    delta_seconds: Optional[float] = None,
+    seed: int = 5,
+) -> List[TkPLQuery]:
+    """``count`` TkPLQ queries over one shared window with overlapping sets.
+
+    Models a multi-tenant query stream hammering the same time range: every
+    query draws its own (deterministic) S-location subset, so consecutive
+    queries overlap heavily without being identical.  This is the workload
+    the engine's batch planner and cross-query presence store target.
+    """
+    start, end = scenario.query_interval(delta_seconds, seed=seed)
+    queries: List[TkPLQuery] = []
+    for repeat in range(count):
+        query_slocations = scenario.pick_query_slocations(
+            q_fraction, seed=seed + repeat
+        )
+        queries.append(
+            TkPLQuery.build(
+                query_slocations, min(k, len(query_slocations)), start, end
+            )
+        )
+    return queries
+
+
+def batched_outcome(
+    scenario: Scenario,
+    queries: Sequence[TkPLQuery],
+) -> List[Dict[str, object]]:
+    """Answer a query stream in one batched pass; one flat row per query."""
+    report = run_batched(scenario, queries)
+    return [
+        {
+            "query": index,
+            "k": result.query.k,
+            "q_size": len(result.query.query_slocations),
+            "top_k": result.top_k_ids(),
+            "time_s": round(result.stats.elapsed_seconds, 4),
+        }
+        for index, result in enumerate(report.results)
+    ]
 
 
 def format_table(rows: Sequence[Dict[str, object]]) -> str:

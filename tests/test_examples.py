@@ -42,6 +42,12 @@ def test_algorithm_comparison_runs(capsys):
     assert "bf" in output
 
 
+def test_batch_queries_runs_and_strategies_agree(capsys):
+    output = _run_example("batch_queries.py", capsys)
+    assert "batched single pass" in output
+    assert "All strategies agree on every ranking" in output
+
+
 def test_examples_directory_contains_at_least_three_scripts():
     scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
     assert len(scripts) >= 3
