@@ -1,0 +1,221 @@
+"""Storage-layer benchmark: sharded vs. flat ingestion and window queries.
+
+Streams the same synthetic report traffic into both IUPT storage backends
+and records the results in ``BENCH_storage.json`` at the repository root
+(uploaded as a CI artifact alongside ``BENCH_engine.json``):
+
+* **ingestion** — per-record ``append()`` into the flat store (the seed's
+  streaming behaviour: two index inserts and a version bump per record)
+  against batched ``ingest_batch()`` into the sharded store (one bulk index
+  build and one version bump per touched shard);
+* **window queries** — narrow windows served by the flat store's whole-table
+  index against the sharded store's shard-pruned path;
+* **cache invalidation** — how many cached windows survive one streamed-in
+  batch under whole-table versus shard-scoped cache keys.
+
+The acceptance properties of the storage refactor are asserted when the
+dedicated CI job opts in via ``REPRO_BENCH_STRICT=1``: bulk ingestion must
+be at least 5x faster than per-record appends, and the shard-pruned window
+query must not be slower than the flat store's.  (Bit-identical flat/sharded
+rankings are asserted unconditionally in ``tests/test_storage.py``.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Dict, List
+
+from repro import IUPT, SampleSet
+from repro.data.records import PositioningRecord
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+REPORT_PATH = REPO_ROOT / "BENCH_storage.json"
+
+NUM_OBJECTS = 50
+DURATION_SECONDS = 3600.0
+REPORT_PERIOD_SECONDS = 6.0
+SHARD_SECONDS = 300.0
+STREAM_BATCH_SECONDS = 60.0
+QUERY_WINDOW_SECONDS = 360.0
+QUERY_REPEATS = 200
+
+
+def _report_stream() -> List[PositioningRecord]:
+    """A deterministic, time-ordered stream of positioning reports."""
+    records: List[PositioningRecord] = []
+    tick = 0
+    timestamp = 0.0
+    while timestamp < DURATION_SECONDS:
+        for object_id in range(NUM_OBJECTS):
+            ploc = (object_id + tick) % 23
+            records.append(
+                PositioningRecord(
+                    object_id,
+                    SampleSet.from_pairs(
+                        [(ploc, 0.6), (ploc + 1, 0.4)]
+                    ),
+                    timestamp + object_id * 0.01,
+                )
+            )
+        tick += 1
+        timestamp += REPORT_PERIOD_SECONDS
+    return records
+
+
+def _stream_batches(records: List[PositioningRecord]) -> List[List[PositioningRecord]]:
+    """Slice the stream the way a live loader flushes it: every N seconds."""
+    batches: List[List[PositioningRecord]] = []
+    current: List[PositioningRecord] = []
+    boundary = STREAM_BATCH_SECONDS
+    for record in records:
+        while record.timestamp >= boundary:
+            batches.append(current)
+            current = []
+            boundary += STREAM_BATCH_SECONDS
+        current.append(record)
+    if current:
+        batches.append(current)
+    return batches
+
+
+def _query_windows() -> List[tuple]:
+    """Shard-boundary-straddling windows spread over the stream's span."""
+    windows = []
+    step = (DURATION_SECONDS - QUERY_WINDOW_SECONDS) / 7
+    for i in range(8):
+        start = i * step
+        windows.append((start, start + QUERY_WINDOW_SECONDS))
+    return windows
+
+
+def test_storage_throughput_report():
+    records = _report_stream()
+    batches = _stream_batches(records)
+    windows = _query_windows()
+
+    # --- Ingestion: per-record appends into the flat store (seed behaviour).
+    flat = IUPT()
+    began = time.perf_counter()
+    for record in records:
+        flat.append(record)
+    flat.range_query(0.0, 0.0)  # force the deferred index build
+    flat_ingest = time.perf_counter() - began
+
+    # --- Ingestion: streamed batches into the sharded store.
+    sharded = IUPT.sharded(shard_seconds=SHARD_SECONDS)
+    began = time.perf_counter()
+    for batch in batches:
+        sharded.ingest_batch(batch)
+    sharded.range_query(0.0, 0.0)
+    sharded_ingest = time.perf_counter() - began
+
+    assert len(flat) == len(sharded) == len(records)
+
+    # --- Window queries (results must agree before any timing counts).
+    for window in windows:
+        flat_result = [(r.object_id, r.timestamp) for r in flat.range_query(*window)]
+        sharded_result = [
+            (r.object_id, r.timestamp) for r in sharded.range_query(*window)
+        ]
+        assert flat_result == sharded_result
+
+    timings: Dict[str, float] = {}
+    for name, table in (("flat", flat), ("sharded", sharded)):
+        began = time.perf_counter()
+        for repeat in range(QUERY_REPEATS):
+            table.range_query(*windows[repeat % len(windows)])
+        timings[name] = (time.perf_counter() - began) / QUERY_REPEATS
+
+    # --- Invalidation granularity: how many cached windows survive a batch.
+    #     Tokens stand in for cached entries: an entry survives ingestion
+    #     exactly when its window's data key is unchanged.
+    probe_windows = [
+        (i * SHARD_SECONDS, (i + 1) * SHARD_SECONDS - 1.0)
+        for i in range(int(DURATION_SECONDS / SHARD_SECONDS))
+    ]
+    flat_tokens = {w: flat.data_key_for(*w) for w in probe_windows}
+    sharded_tokens = {w: sharded.data_key_for(*w) for w in probe_windows}
+    late_batch = [
+        PositioningRecord(1, SampleSet.certain(3), DURATION_SECONDS - 10.0 + i)
+        for i in range(5)
+    ]
+    flat.ingest_batch(late_batch)
+    sharded.ingest_batch(late_batch)
+    flat_survivors = sum(
+        1 for w, token in flat_tokens.items() if flat.data_key_for(*w) == token
+    )
+    sharded_survivors = sum(
+        1 for w, token in sharded_tokens.items() if sharded.data_key_for(*w) == token
+    )
+    assert flat_survivors == 0, "flat tokens are whole-table; all must churn"
+    assert sharded_survivors == len(probe_windows) - 1, (
+        "one streamed batch must invalidate exactly the windows overlapping "
+        "the touched shard"
+    )
+
+    ingest_speedup = flat_ingest / sharded_ingest
+    query_ratio = timings["flat"] / timings["sharded"]
+
+    strict = os.environ.get("REPRO_BENCH_STRICT") == "1"
+    if strict:
+        # Acceptance: bulk ingestion >= 5x faster than per-record appends,
+        # shard-pruned window query not slower than the flat store.
+        assert ingest_speedup >= 5.0, (
+            f"sharded bulk ingestion should be >=5x faster than per-record "
+            f"appends; got {ingest_speedup:.1f}x "
+            f"({flat_ingest:.3f}s vs {sharded_ingest:.3f}s)"
+        )
+        assert timings["sharded"] <= timings["flat"] * 1.1, (
+            f"shard-pruned window query should not be slower than the flat "
+            f"store; flat {timings['flat'] * 1e6:.1f}us vs sharded "
+            f"{timings['sharded'] * 1e6:.1f}us"
+        )
+    else:
+        # Correctness runs keep a loose sanity bound so a storage-layer
+        # regression cannot hide behind the non-strict mode.
+        assert ingest_speedup > 1.0
+
+    if not strict:
+        # Only the opted-in smoke-benchmark run records machine timings.
+        return
+
+    store = sharded.store
+    payload = {
+        "benchmark": "storage-ingestion-and-query",
+        "workload": {
+            "records": len(records),
+            "objects": NUM_OBJECTS,
+            "duration_seconds": DURATION_SECONDS,
+            "stream_batch_seconds": STREAM_BATCH_SECONDS,
+            "shard_seconds": SHARD_SECONDS,
+            "shards": store.shard_count,
+            "query_window_seconds": QUERY_WINDOW_SECONDS,
+            "query_repeats": QUERY_REPEATS,
+        },
+        "ingestion": {
+            "flat_per_record_appends_s": round(flat_ingest, 4),
+            "sharded_ingest_batch_s": round(sharded_ingest, 4),
+            "speedup": round(ingest_speedup, 2),
+            "records_per_second_flat": round(len(records) / flat_ingest),
+            "records_per_second_sharded": round(len(records) / sharded_ingest),
+        },
+        "window_query": {
+            "flat_s": round(timings["flat"], 6),
+            "sharded_s": round(timings["sharded"], 6),
+            "flat_over_sharded": round(query_ratio, 2),
+            "shards_per_query": len(
+                store.overlapping_shard_keys(*windows[0])
+            ),
+        },
+        "invalidation_after_one_batch": {
+            "probe_windows": len(probe_windows),
+            "flat_windows_still_cached": flat_survivors,
+            "sharded_windows_still_cached": sharded_survivors,
+        },
+    }
+    REPORT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {REPORT_PATH}:")
+    print(json.dumps({"ingestion": payload["ingestion"], "window_query": payload["window_query"]}, indent=2))

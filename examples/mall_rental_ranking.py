@@ -20,8 +20,10 @@ from repro import SimpleCounting, TkPLQuery, build_real_scenario
 
 def main() -> None:
     # The university floor doubles as a small "mall": rooms are shops and the
-    # hallway segments are common areas.
-    scenario = build_real_scenario(num_users=15, duration_seconds=600.0, seed=3)
+    # hallway segments are common areas.  (The naive algorithm below pays a
+    # full per-location pass over every shopper, so the demo keeps the crowd
+    # small; scale num_users/duration up for a heavier run.)
+    scenario = build_real_scenario(num_users=10, duration_seconds=360.0, seed=3)
     plan = scenario.plan
     shops = sorted(plan.slocations)
     k = 5

@@ -71,6 +71,13 @@ from .space import (
     PartitionKind,
     PLocationKind,
 )
+from .storage import (
+    EvictedRangeError,
+    IngestReceipt,
+    InMemoryRecordStore,
+    RecordStore,
+    ShardedRecordStore,
+)
 from .synth import (
     Scenario,
     build_real_scenario,
@@ -78,11 +85,11 @@ from .synth import (
     build_university_floorplan,
 )
 
-# 2.0.0: the execution-engine layer. The query API (flow/flows/top_k/search)
-# is unchanged, but ObjectComputationCache is now keyed by query set and
-# traffics in StoredPresence artefacts — a breaking change for callers of
-# that class.
-__version__ = "2.0.0"
+# 3.0.0: the storage layer. IUPT is now a facade over a RecordStore backend
+# (flat in-memory or time-partitioned sharded), with streaming ingest_batch,
+# per-shard versioning / shard-scoped cache keys, and retention eviction.
+# IUPT.extend now bumps the data version once per batch (was: per record).
+__version__ = "3.0.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -93,6 +100,7 @@ __all__ = [
     "DataReducer",
     "DataReductionConfig",
     "EngineConfig",
+    "EvictedRangeError",
     "ExecutionContext",
     "FloorPlan",
     "FlowComputer",
@@ -100,6 +108,8 @@ __all__ = [
     "IndoorFlowSystem",
     "IndoorLocationMatrix",
     "IndoorSpaceLocationGraph",
+    "IngestReceipt",
+    "InMemoryRecordStore",
     "MethodOutcome",
     "MonteCarlo",
     "NaiveTkPLQ",
@@ -114,10 +124,12 @@ __all__ = [
     "QueryEngine",
     "QueryPipeline",
     "RankedLocation",
+    "RecordStore",
     "Rect",
     "Sample",
     "SampleSet",
     "Scenario",
+    "ShardedRecordStore",
     "SearchStats",
     "SemiConstrainedCounting",
     "SimpleCounting",

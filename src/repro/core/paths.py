@@ -107,6 +107,35 @@ def candidate_path_count(sequence: Sequence[SampleSet]) -> int:
     return total if sequence else 0
 
 
+class _StepChain:
+    """A hash-consed chain of step cell sets (shared prefixes, O(1) keys).
+
+    Partial paths grow one step cell set per sample set; materialising the
+    step tuple on every extension costs O(sequence length) per candidate and
+    makes the construction quadratic on the long dwell-heavy sequences of
+    the streaming scenarios.  Chains share their prefixes instead: every
+    node is interned per construction, so two partial paths carry the *same*
+    chain object exactly when their step cell sequences are equal, and the
+    grouping key ``(tail, chain)`` hashes by identity in O(1).  The full
+    tuple is materialised only for the surviving final paths.
+    """
+
+    __slots__ = ("parent", "cells")
+
+    def __init__(self, parent: Optional["_StepChain"], cells: FrozenSet[int]):
+        self.parent = parent
+        self.cells = cells
+
+    def materialise(self) -> Tuple[FrozenSet[int], ...]:
+        steps: List[FrozenSet[int]] = []
+        node: Optional["_StepChain"] = self
+        while node is not None:
+            steps.append(node.cells)
+            node = node.parent
+        steps.reverse()
+        return tuple(steps)
+
+
 def build_possible_paths(
     sequence: Sequence[SampleSet],
     matrix: IndoorLocationMatrix,
@@ -134,11 +163,12 @@ def build_possible_paths(
     if not sequence:
         return []
 
-    # Partial path groups: (tail, step_cells) -> [representative locations, probability]
-    GroupKey = Tuple[int, Tuple[FrozenSet[int], ...]]
+    # Partial path groups: (tail, step chain) -> [representative locations,
+    # probability].  Chains are hash-consed through `interned`, so the key
+    # compares in O(1) while grouping exactly by the step cell sequence.
     partials: dict = {}
     for sample in sequence[0]:
-        key: GroupKey = (sample.ploc_id, ())
+        key = (sample.ploc_id, None)
         entry = partials.get(key)
         if entry is None:
             partials[key] = [(sample.ploc_id,), sample.prob]
@@ -148,22 +178,46 @@ def build_possible_paths(
     truncated = False
     for sample_set in sequence[1:]:
         extended: dict = {}
-        for (tail, steps), (locations, probability) in partials.items():
-            for sample in sample_set:
-                cells = matrix.cells_between(tail, sample.ploc_id)
+        interned: dict = {}
+        # MIL lookups depend only on (tail, next location); the tails of one
+        # step all come from the previous sample set, so memoising per step
+        # caps the matrix probes at |X_{i-1}| x |X_i| instead of one per
+        # partial path group.  The samples are unpacked once and the dict
+        # probes hoisted because this loop runs (groups x samples) times per
+        # step and dominates whole-window flow computation.
+        cells_between: dict = {}
+        samples = [(sample.ploc_id, sample.prob) for sample in sample_set]
+        pruned_branches = 0
+        cells_get = cells_between.get
+        interned_get = interned.get
+        extended_get = extended.get
+        matrix_cells_between = matrix.cells_between
+        for (tail, chain), (locations, probability) in partials.items():
+            for ploc_id, prob in samples:
+                pair = (tail, ploc_id)
+                cells = cells_get(pair)
+                if cells is None:
+                    cells = matrix_cells_between(tail, ploc_id)
+                    cells_between[pair] = cells
                 if not cells:
-                    if stats is not None:
-                        stats.pruned_branches += 1
+                    pruned_branches += 1
                     continue
-                key = (sample.ploc_id, steps + (cells,))
-                entry = extended.get(key)
+                link = (chain, cells)
+                extended_chain = interned_get(link)
+                if extended_chain is None:
+                    extended_chain = _StepChain(chain, cells)
+                    interned[link] = extended_chain
+                key = (ploc_id, extended_chain)
+                entry = extended_get(key)
                 if entry is None:
                     extended[key] = [
-                        locations + (sample.ploc_id,),
-                        probability * sample.prob,
+                        locations + (ploc_id,),
+                        probability * prob,
                     ]
                 else:
-                    entry[1] += probability * sample.prob
+                    entry[1] += probability * prob
+        if stats is not None:
+            stats.pruned_branches += pruned_branches
         if max_paths is not None and len(extended) > max_paths:
             truncated = True
             keep = sorted(extended.items(), key=lambda item: -item[1][1])[:max_paths]
@@ -173,11 +227,15 @@ def build_possible_paths(
             break
 
     paths: List[PossiblePath] = []
-    for (tail, steps), (locations, probability) in partials.items():
+    for (tail, chain), (locations, probability) in partials.items():
         if len(locations) == 1:
             # A lone report: the "movement" stays within the cells adjacent to
             # the single P-location (see DESIGN.md, interpretation choices).
-            steps = (matrix.cells_adjacent(locations[0]),)
+            steps: Tuple[FrozenSet[int], ...] = (
+                matrix.cells_adjacent(locations[0]),
+            )
+        else:
+            steps = chain.materialise()
         paths.append(
             PossiblePath(
                 plocations=locations,

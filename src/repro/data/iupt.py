@@ -1,22 +1,41 @@
-"""The Indoor Uncertain Positioning Table (IUPT) and its time index.
+"""The Indoor Uncertain Positioning Table (IUPT) — a facade over a record store.
 
 The IUPT stores the historical positioning records of all indoor moving
 objects (Table 2 of the paper).  Following Section 3.3, the table is indexed
-on its time attribute with a one-dimensional R-tree so that the flow and
-TkPLQ algorithms can fetch exactly the records of a query window; a B+-tree
-index is also available for the index ablation study.
+on its time attribute so that the flow and TkPLQ algorithms can fetch exactly
+the records of a query window.
+
+Since the storage-layer refactor the table itself is a thin facade over a
+:class:`~repro.storage.base.RecordStore` backend:
+
+* :class:`~repro.storage.memory.InMemoryRecordStore` (default) — the seed
+  behaviour: one flat list behind whole-table 1D R-tree / B+-tree indexes;
+* :class:`~repro.storage.sharded.ShardedRecordStore` (via :meth:`IUPT.sharded`)
+  — time-partitioned shards with bulk-loaded indexes, shard-pruned window
+  queries, per-shard versioning, and retention eviction.
+
+Streaming callers ingest through :meth:`IUPT.ingest_batch`, which costs one
+version bump per touched shard (one per batch on the flat store) instead of
+the historical one-bump-per-record, and the engine keys its cross-query
+presence cache on the *window-scoped* :meth:`IUPT.data_key_for`, so a new
+batch only invalidates cached presences whose query windows overlap the
+touched shards.
 """
 
 from __future__ import annotations
 
-import itertools
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..indexes import BPlusTree, OneDimensionalRTree
+from ..storage import (
+    DEFAULT_SHARD_SECONDS,
+    IngestReceipt,
+    InMemoryRecordStore,
+    RecordStore,
+    ShardedRecordStore,
+    VersionToken,
+)
 from .records import PositioningRecord, SampleSet
-
-_TABLE_UIDS = itertools.count(1)
 
 
 class IUPT:
@@ -28,83 +47,149 @@ class IUPT:
         ``"1dr-tree"`` (default, the paper's choice) or ``"bplus-tree"``.
         Both expose the same range-query semantics; the choice only affects
         the index ablation benchmark.
+    store:
+        The storage backend; defaults to a flat
+        :class:`~repro.storage.memory.InMemoryRecordStore` of ``index_kind``
+        (the seed behaviour).  Use :meth:`IUPT.sharded` for the
+        time-partitioned store.
     """
 
     VALID_INDEXES = ("1dr-tree", "bplus-tree")
 
-    def __init__(self, index_kind: str = "1dr-tree"):
+    def __init__(
+        self, index_kind: str = "1dr-tree", store: Optional[RecordStore] = None
+    ):
         if index_kind not in self.VALID_INDEXES:
             raise ValueError(
                 f"unknown index kind {index_kind!r}; expected one of {self.VALID_INDEXES}"
             )
-        self._index_kind = index_kind
-        self._records: List[PositioningRecord] = []
-        self._rtree: OneDimensionalRTree[PositioningRecord] = OneDimensionalRTree()
-        self._bptree: BPlusTree[PositioningRecord] = BPlusTree()
-        self._uid = next(_TABLE_UIDS)
-        self._version = 0
+        if store is not None:
+            # The backend owns the index choice; the facade must not be able
+            # to disagree with it (mislabeled ablation rows, clones whose
+            # index kind silently flips).
+            self._index_kind = getattr(store, "index_kind", index_kind)
+            self._store: RecordStore = store
+        else:
+            self._index_kind = index_kind
+            self._store = InMemoryRecordStore(index_kind)
+
+    @classmethod
+    def sharded(
+        cls,
+        shard_seconds: float = DEFAULT_SHARD_SECONDS,
+        index_kind: str = "1dr-tree",
+    ) -> "IUPT":
+        """A table over the time-partitioned sharded store."""
+        return cls(
+            index_kind=index_kind,
+            store=ShardedRecordStore(
+                shard_seconds=shard_seconds, index_kind=index_kind
+            ),
+        )
+
+    def _clone_empty(self) -> "IUPT":
+        """An empty table over a fresh store of the same kind and settings."""
+        if isinstance(self._store, ShardedRecordStore):
+            return IUPT.sharded(
+                shard_seconds=self._store.shard_seconds,
+                index_kind=self._index_kind,
+            )
+        return IUPT(index_kind=self._index_kind)
 
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
     def append(self, record: PositioningRecord) -> None:
         """Append one positioning record."""
-        self._records.append(record)
-        self._rtree.insert(record.timestamp, record)
-        self._bptree.insert(record.timestamp, record)
-        self._version += 1
+        self._store.append(record)
 
     def extend(self, records: Iterable[PositioningRecord]) -> None:
-        for record in records:
-            self.append(record)
+        """Append many records; one version bump per touched shard, not per record."""
+        self._store.ingest_batch(records)
+
+    def ingest_batch(self, records: Iterable[PositioningRecord]) -> IngestReceipt:
+        """Streaming ingestion: bulk-insert a batch and report what it touched.
+
+        On the sharded store the batch is sliced per time shard and each
+        touched shard rebuilds its index once (bulk load) and bumps its
+        version once, so cached query results for non-overlapping windows
+        stay valid.  The flat store degenerates to per-record index inserts
+        with a single whole-table version bump.
+        """
+        return self._store.ingest_batch(records)
 
     def report(self, object_id: int, sample_set: SampleSet, timestamp: float) -> None:
         """Convenience wrapper building the record in place."""
         self.append(PositioningRecord(object_id, sample_set, timestamp))
 
+    def evict_before(self, timestamp: float) -> int:
+        """Drop whole shards ending at or before ``timestamp`` (sharded only).
+
+        Returns the number of records dropped.  Later window queries that
+        reach below the eviction watermark raise
+        :class:`~repro.storage.base.EvictedRangeError` rather than silently
+        returning partial flows.
+        """
+        return self._store.evict_before(timestamp)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._store)
 
     @property
     def index_kind(self) -> str:
         return self._index_kind
 
     @property
-    def data_key(self) -> Tuple[int, int]:
-        """Identity-and-version token of the table's current contents.
+    def store(self) -> RecordStore:
+        """The storage backend behind this table."""
+        return self._store
 
-        Changes whenever a record is appended (and differs between table
-        instances), so caches of derived per-object artefacts — the engine's
-        :class:`~repro.engine.cache.PresenceStore` — can key on it and never
-        serve results computed from an older state of the table.
+    @property
+    def data_key(self) -> VersionToken:
+        """Identity-and-version token of the table's entire current contents.
+
+        Changes whenever any record is ingested (and differs between table
+        instances).  Prefer :meth:`data_key_for` for caching derived
+        artefacts of one query window: on a sharded store the window-scoped
+        token survives ingestion into shards the window does not touch.
         """
-        return (self._uid, self._version)
+        return self._store.version_token()
+
+    def data_key_for(self, start: float, end: float) -> VersionToken:
+        """Identity-and-version token of the records visible to ``[start, end]``.
+
+        The engine's :class:`~repro.engine.stages.FetchStage` pins each
+        query context to this token, so the cross-query
+        :class:`~repro.engine.cache.PresenceStore` serves cached presences
+        until a batch actually touches a shard the window overlaps.
+        """
+        return self._store.version_token(start, end)
 
     @property
     def records(self) -> Sequence[PositioningRecord]:
-        return tuple(self._records)
+        if isinstance(self._store, InMemoryRecordStore):
+            return self._store.records_in_arrival_order
+        return self._store.records_in_time_order()
 
     def object_ids(self) -> List[int]:
         """The distinct object identifiers present in the table."""
-        return sorted({record.object_id for record in self._records})
+        return sorted({record.object_id for record in self.records})
 
     def time_span(self) -> Tuple[float, float]:
         """The earliest and latest report timestamps (``(inf, -inf)`` if empty)."""
-        if not self._records:
-            return (float("inf"), float("-inf"))
-        timestamps = [r.timestamp for r in self._records]
-        return (min(timestamps), max(timestamps))
+        return self._store.time_span()
 
     def summary(self) -> Dict[str, float]:
         """Basic statistics used in experiment logs."""
-        sizes = [len(r.sample_set) for r in self._records]
+        records = self.records
+        sizes = [len(r.sample_set) for r in records]
         start, end = self.time_span()
         return {
-            "records": len(self._records),
-            "objects": len(self.object_ids()),
+            "records": len(records),
+            "objects": len({record.object_id for record in records}),
             "max_sample_set_size": max(sizes) if sizes else 0,
             "mean_sample_set_size": (sum(sizes) / len(sizes)) if sizes else 0.0,
             "time_start": start,
@@ -118,11 +203,10 @@ class IUPT:
         """Return the records whose timestamp falls into ``[start, end]``.
 
         This corresponds to the ``tree.RangeQuery([ts, te])`` call of
-        Algorithms 2-4 and goes through the configured time index.
+        Algorithms 2-4 and goes through the store's time index(es); the
+        sharded store first prunes to the shards overlapping the window.
         """
-        if self._index_kind == "1dr-tree":
-            return self._rtree.range_query(start, end)
-        return self._bptree.range_query(start, end)
+        return self._store.range_query(start, end)
 
     def sequences_in(self, start: float, end: float) -> Dict[int, List[SampleSet]]:
         """Group the records of a window into per-object positioning sequences.
@@ -145,7 +229,7 @@ class IUPT:
 
     def records_of_object(self, object_id: int) -> List[PositioningRecord]:
         """All records of one object, in time order."""
-        selected = [r for r in self._records if r.object_id == object_id]
+        selected = [r for r in self.records if r.object_id == object_id]
         selected.sort(key=lambda r: r.timestamp)
         return selected
 
@@ -158,13 +242,13 @@ class IUPT:
         Used by the uncertainty experiments (Table 5, Figure 7) which vary the
         maximum sample-set size of the same underlying data.
         """
-        clone = IUPT(index_kind=self._index_kind)
-        clone.extend(record.truncated(mss) for record in self._records)
+        clone = self._clone_empty()
+        clone.extend(record.truncated(mss) for record in self.records)
         return clone
 
     def filtered_to_objects(self, object_ids: Iterable[int]) -> "IUPT":
         """Return a copy containing only the records of ``object_ids``."""
         wanted = set(object_ids)
-        clone = IUPT(index_kind=self._index_kind)
-        clone.extend(r for r in self._records if r.object_id in wanted)
+        clone = self._clone_empty()
+        clone.extend(r for r in self.records if r.object_id in wanted)
         return clone

@@ -64,6 +64,16 @@ class RFIDTable:
         for record in records:
             self.append(record)
 
+    def ingest_batch(self, records: Iterable[RFIDRecord]) -> int:
+        """Batch ingestion mirroring :meth:`repro.data.iupt.IUPT.ingest_batch`.
+
+        Returns the number of ingested records, so the streaming loaders can
+        treat positioning and RFID traffic uniformly.
+        """
+        before = len(self._records)
+        self.extend(records)
+        return len(self._records) - before
+
     def __len__(self) -> int:
         return len(self._records)
 

@@ -10,9 +10,14 @@ because all four ingredients determine the stored artefact: the window fixes
 which reports enter the object's sequence, the query S-location set fixes
 the outcome of the query-dependent data reduction (Algorithm 1 prunes an
 object exactly when its possible semantic locations miss the query set), and
-the ``data_key`` — the IUPT's identity-and-version token — pins the state of
-the underlying table, so streaming new reports in (or querying a different
-table through the same engine) can never be answered from stale artefacts.
+the ``data_key`` — the identity-and-version token of the table state the
+window reads (:meth:`~repro.data.iupt.IUPT.data_key_for`) — pins the state
+of the underlying storage, so streaming new reports in (or querying a
+different table through the same engine) can never be answered from stale
+artefacts.  On a sharded store the token is *window-scoped*: it enumerates
+the versions of only the shards the window overlaps, so a freshly ingested
+batch invalidates exactly the cached presences whose windows read a touched
+shard and leaves every other entry serving hits.
 Keying by the query set is what makes the store safe where the historical
 shared-``ObjectComputationCache`` pattern was not — a presence reduced under
 one location set can never be handed to a different one.
@@ -32,12 +37,17 @@ from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 from ..core.presence import PresenceComputation
 from ..data.records import SampleSet
 
+#: A data identity/version token — ``(uid, version)`` for a flat table,
+#: ``(uid, ((shard, version), ...))`` window-scoped for a sharded one; any
+#: hashable tuple from the storage layer's ``version_token``.
+DataKey = Tuple
+
 #: Cache key: (object id, window, query-set key, data identity/version).
 StoreKey = Tuple[
     int,
     Tuple[float, float],
     Optional[FrozenSet[int]],
-    Optional[Tuple[int, int]],
+    Optional[DataKey],
 ]
 
 
@@ -45,14 +55,14 @@ def make_store_key(
     object_id: int,
     window: Tuple[float, float],
     query_slocations: Optional[Iterable[int]],
-    data_key: Optional[Tuple[int, int]] = None,
+    data_key: Optional[DataKey] = None,
 ) -> StoreKey:
     """Normalise the key ingredients into a hashable store key.
 
     ``query_slocations=None`` (reduction without PSL pruning) is a distinct
     key from any concrete query set; ``data_key`` is the
-    :attr:`~repro.data.iupt.IUPT.data_key` of the table the artefact was
-    computed from.
+    :meth:`~repro.data.iupt.IUPT.data_key_for` token of the table state the
+    artefact was computed from.
     """
     qkey = None if query_slocations is None else frozenset(query_slocations)
     return (object_id, (float(window[0]), float(window[1])), qkey, data_key)
@@ -135,7 +145,7 @@ class PresenceStore:
         object_id: int,
         window: Tuple[float, float],
         query_slocations: Optional[Iterable[int]],
-        data_key: Optional[Tuple[int, int]] = None,
+        data_key: Optional[DataKey] = None,
     ) -> Optional[StoredPresence]:
         """Return the stored artefact, or ``None`` on a miss."""
         key = make_store_key(object_id, window, query_slocations, data_key)
@@ -154,7 +164,7 @@ class PresenceStore:
         window: Tuple[float, float],
         query_slocations: Optional[Iterable[int]],
         entry: StoredPresence,
-        data_key: Optional[Tuple[int, int]] = None,
+        data_key: Optional[DataKey] = None,
     ) -> None:
         """Insert (or refresh) an artefact, evicting the LRU entry if full."""
         key = make_store_key(object_id, window, query_slocations, data_key)

@@ -21,6 +21,13 @@ are executed independently of *what* is computed:
     Bound of the cross-query :class:`~repro.engine.cache.PresenceStore` (LRU
     entries).  ``0`` disables cross-query caching entirely, which reproduces
     the pre-engine behaviour where every query starts cold.
+``shard_scoped_cache_keys``
+    Whether the fetch stage keys cached presences by the *window-scoped*
+    :meth:`~repro.data.iupt.IUPT.data_key_for` token (default).  On a
+    sharded table that means streaming a batch in only invalidates cached
+    presences whose query windows overlap the touched shards; disabling it
+    keys by the whole-table version (the seed's invalidate-everything
+    behaviour, kept for the invalidation-granularity benchmark).
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ class EngineConfig:
     max_workers: Optional[int] = None
     parallel_threshold: int = 8
     presence_store_capacity: int = 4096
+    shard_scoped_cache_keys: bool = True
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTOR_KINDS:
@@ -83,4 +91,5 @@ class EngineConfig:
             "max_workers": self.max_workers,
             "parallel_threshold": self.parallel_threshold,
             "presence_store_capacity": self.presence_store_capacity,
+            "shard_scoped_cache_keys": self.shard_scoped_cache_keys,
         }

@@ -39,10 +39,11 @@ class ExecutionContext:
         reconfiguring the engine (the naive algorithm's per-location flow
         calls stay cacheable, but e.g. ground-truth checks can opt out).
     data_key:
-        The :attr:`~repro.data.iupt.IUPT.data_key` of the table this query
-        reads; set by :class:`~repro.engine.stages.FetchStage` and included
-        in every store key so cached artefacts die with the table state
-        they were computed from.
+        The :meth:`~repro.data.iupt.IUPT.data_key_for` token of the table
+        state this query's window reads; set by
+        :class:`~repro.engine.stages.FetchStage` and included in every store
+        key so cached artefacts die with the (shard-scoped, on a sharded
+        store) table state they were computed from.
     """
 
     window: Tuple[float, float]
@@ -50,7 +51,7 @@ class ExecutionContext:
     stats: SearchStats = field(default_factory=SearchStats)
     store: Optional["PresenceStore"] = None
     use_store: bool = True
-    data_key: Optional[Tuple[int, int]] = None
+    data_key: Optional[Tuple] = None
 
     @property
     def start(self) -> float:

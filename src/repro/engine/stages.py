@@ -50,13 +50,25 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class FetchStage:
     """Stage 1: retrieve the window's per-object sequences from the time index.
 
-    Also pins the context to the table's current :attr:`~repro.data.iupt.IUPT.data_key`,
-    so every later store access of this context is keyed to the exact table
-    state the sequences were fetched from.
+    Also pins the context to the table's data key, so every later store
+    access of this context is keyed to the exact table state the sequences
+    were fetched from.  With ``shard_scoped_keys`` (the default) the key is
+    the *window-scoped* :meth:`~repro.data.iupt.IUPT.data_key_for` token: on
+    a sharded store it only covers the shards the window overlaps, so
+    ingesting a batch elsewhere leaves this context's cached presences
+    valid.  Disabling it falls back to the whole-table
+    :attr:`~repro.data.iupt.IUPT.data_key` (the seed's invalidate-everything
+    behaviour, kept for the invalidation-granularity benchmark).
     """
 
+    def __init__(self, shard_scoped_keys: bool = True):
+        self._shard_scoped_keys = shard_scoped_keys
+
     def run(self, ctx: ExecutionContext, iupt: IUPT) -> Dict[int, List[SampleSet]]:
-        ctx.data_key = iupt.data_key
+        if self._shard_scoped_keys:
+            ctx.data_key = iupt.data_key_for(ctx.start, ctx.end)
+        else:
+            ctx.data_key = iupt.data_key
         sequences = iupt.sequences_in(ctx.start, ctx.end)
         ctx.stats.note_objects_total(len(sequences))
         return sequences
@@ -197,7 +209,7 @@ class QueryPipeline:
         self._store = store
         self._config = config or EngineConfig()
         self._executor = make_executor(self._config)
-        self.fetch = FetchStage()
+        self.fetch = FetchStage(self._config.shard_scoped_cache_keys)
         self.reduce = ReduceStage(flow_computer)
         self.paths = PathStage(flow_computer)
         self.presence = PresenceStage(flow_computer)

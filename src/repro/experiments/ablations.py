@@ -110,6 +110,58 @@ def ablation_indexes(scale: str = "small") -> List[Dict[str, object]]:
     return rows
 
 
+def ablation_storage(scale: str = "small") -> List[Dict[str, object]]:
+    """Compare the flat and sharded IUPT stores on the same report stream.
+
+    Measures per-record appends against batch ingestion on both backends and
+    a shard-boundary-straddling window query, reporting the shard pruning
+    the sharded store achieved.  (``benchmarks/test_bench_storage.py`` runs
+    the larger, asserted version of this comparison.)
+    """
+    scenario = get_real_scenario(scale)
+    knobs = real_scale(scale)
+    start, end = scenario.query_interval(knobs.default_delta_seconds, seed=3)
+    records = list(scenario.iupt.records)
+    shard_seconds = max(scenario.duration_seconds / 8.0, 1.0)
+
+    rows: List[Dict[str, object]] = []
+    for store_kind, build in (
+        ("flat", lambda: IUPT()),
+        ("sharded", lambda: IUPT.sharded(shard_seconds=shard_seconds)),
+    ):
+        for ingestion, load in (
+            ("per-record append", lambda t: [t.append(r) for r in records]),
+            ("ingest_batch", lambda t: t.ingest_batch(records)),
+        ):
+            table = build()
+            began = time.perf_counter()
+            load(table)
+            fetched = len(table.range_query(start, end))  # forces index build
+            ingest_elapsed = time.perf_counter() - began
+
+            began = time.perf_counter()
+            for _ in range(20):
+                table.range_query(start, end)
+            query_elapsed = (time.perf_counter() - began) / 20
+
+            row: Dict[str, object] = {
+                "store": store_kind,
+                "ingestion": ingestion,
+                "records": len(records),
+                "records_fetched": fetched,
+                "ingest_time_s": round(ingest_elapsed, 4),
+                "window_query_time_s": round(query_elapsed, 6),
+            }
+            if store_kind == "sharded":
+                store = table.store
+                row["shards"] = store.shard_count
+                row["shards_per_query"] = len(
+                    store.overlapping_shard_keys(start, end)
+                )
+            rows.append(row)
+    return rows
+
+
 def ablation_algorithms(scale: str = "small") -> List[Dict[str, object]]:
     """Head-to-head of the three search algorithms with and without reduction."""
     scenario = get_real_scenario(scale)

@@ -33,6 +33,7 @@ EXPERIMENTS: Dict[str, ExperimentFn] = {
     # Reproduction-specific ablations.
     "ablation_reduction": ablations.ablation_reduction,
     "ablation_indexes": ablations.ablation_indexes,
+    "ablation_storage": ablations.ablation_storage,
     "ablation_algorithms": ablations.ablation_algorithms,
 }
 

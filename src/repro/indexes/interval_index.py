@@ -72,6 +72,27 @@ class OneDimensionalRTree(Generic[T]):
         self._records = sorted(records, key=lambda pair: pair[0])
         self._dirty = True
 
+    @classmethod
+    def from_sorted(
+        cls,
+        records: Sequence[Tuple[float, T]],
+        leaf_capacity: int = 64,
+        fanout: int = 16,
+    ) -> "OneDimensionalRTree[T]":
+        """Bulk-load constructor over records already sorted by timestamp.
+
+        Skips the sort of :meth:`bulk_load` and packs the tree eagerly, so
+        the construction cost is paid here rather than on the first query —
+        the shape a sharded store wants when it rebuilds one shard's index
+        per ingested batch.  Ties must already be in arrival order; the
+        packed layout preserves the given order exactly.
+        """
+        tree: "OneDimensionalRTree[T]" = cls(leaf_capacity=leaf_capacity, fanout=fanout)
+        tree._records = list(records)
+        tree._dirty = True
+        tree._rebuild()
+        return tree
+
     def _rebuild(self) -> None:
         if not self._records:
             self._root = None

@@ -1,0 +1,42 @@
+"""The IUPT storage layer: record-store backends behind the table facade.
+
+See :mod:`repro.storage.base` for the backend contract,
+:mod:`repro.storage.memory` for the seed's flat in-memory store, and
+:mod:`repro.storage.sharded` for the time-partitioned sharded store with
+bulk-loaded per-shard indexes, shard-pruned window queries, per-shard
+versioning, and retention eviction.
+"""
+
+from .base import (
+    EvictedRangeError,
+    IngestReceipt,
+    RecordStore,
+    STORE_KINDS,
+    VersionToken,
+)
+from .memory import InMemoryRecordStore
+from .sharded import DEFAULT_SHARD_SECONDS, ShardedRecordStore
+
+__all__ = [
+    "DEFAULT_SHARD_SECONDS",
+    "EvictedRangeError",
+    "IngestReceipt",
+    "InMemoryRecordStore",
+    "RecordStore",
+    "STORE_KINDS",
+    "ShardedRecordStore",
+    "VersionToken",
+]
+
+
+def make_store(
+    kind: str = "flat",
+    index_kind: str = "1dr-tree",
+    shard_seconds: float = DEFAULT_SHARD_SECONDS,
+) -> RecordStore:
+    """Build a record store by kind name (the scenario/experiment entry point)."""
+    if kind == "flat":
+        return InMemoryRecordStore(index_kind=index_kind)
+    if kind == "sharded":
+        return ShardedRecordStore(shard_seconds=shard_seconds, index_kind=index_kind)
+    raise ValueError(f"unknown store kind {kind!r}; expected one of {STORE_KINDS}")

@@ -1,0 +1,168 @@
+"""The record-store backend protocol of the IUPT storage layer.
+
+The paper treats the IUPT as a static table behind a single time index; a
+production deployment instead receives positioning reports continuously and
+serves window queries concurrently.  This module defines the contract between
+the :class:`~repro.data.iupt.IUPT` facade (and through it the execution
+engine) and the storage backends that actually hold the records:
+
+* :class:`~repro.storage.memory.InMemoryRecordStore` — the seed behaviour:
+  one flat record list behind whole-table time indexes, per-record index
+  inserts, one version for the entire table;
+* :class:`~repro.storage.sharded.ShardedRecordStore` — time-partitioned
+  shards, each owning a bulk-loaded time index and its own version, so
+  window queries prune to overlapping shards, batch ingestion costs one
+  bulk index build per touched shard, and retention can drop old shards.
+
+The key protocol addition over the historical ``IUPT`` internals is
+**window-scoped versioning**: :meth:`RecordStore.version_token` describes the
+state of the records *visible to one window* rather than of the whole table.
+The engine keys its cross-query presence cache on that token, so ingesting a
+batch only invalidates cached artefacts whose query windows overlap the
+touched shards — the flat store degenerates to a whole-table token, which
+reproduces the seed's invalidate-everything behaviour.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..data.records import PositioningRecord
+
+#: Process-wide identity counter shared by every store (and therefore every
+#: IUPT facade): version tokens from different tables must never collide.
+STORE_UIDS = itertools.count(1)
+
+#: A hashable token pinning the state of (part of) a store; see
+#: :meth:`RecordStore.version_token`.
+VersionToken = Tuple
+
+STORE_KINDS = ("flat", "sharded")
+
+
+class EvictedRangeError(LookupError):
+    """A window query reached into data dropped by retention eviction.
+
+    Raised instead of silently answering from the surviving shards only:
+    a partial flow looks exactly like a small real flow, which would corrupt
+    rankings without any signal that retention truncated the input.
+    """
+
+    def __init__(self, start: float, end: float, watermark: float):
+        super().__init__(
+            f"window [{start}, {end}] overlaps evicted history: records before "
+            f"t={watermark} were dropped by retention eviction; narrow the "
+            f"window to start at or after the watermark"
+        )
+        self.start = start
+        self.end = end
+        self.watermark = watermark
+
+
+@dataclass
+class IngestReceipt:
+    """What one :meth:`RecordStore.ingest_batch` call did.
+
+    ``shards_touched`` lists the shard keys whose version advanced (the flat
+    store reports the pseudo-shard ``"table"``); streaming callers can use it
+    to reason about which cached windows the batch invalidated.
+    """
+
+    records_ingested: int = 0
+    shards_touched: Tuple = ()
+
+    @property
+    def shards_touched_count(self) -> int:
+        return len(self.shards_touched)
+
+
+class RecordStore(ABC):
+    """Storage backend contract for uncertain positioning records.
+
+    Implementations must keep :meth:`range_query` results in global time
+    order with ties preserving arrival order — the deterministic ordering
+    every flow computation downstream relies on.
+    """
+
+    #: Short backend identifier (``"flat"`` / ``"sharded"``).
+    kind: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def append(self, record: PositioningRecord) -> None:
+        """Ingest a single record (bumps the owning version once)."""
+
+    @abstractmethod
+    def ingest_batch(
+        self, records: Iterable[PositioningRecord]
+    ) -> IngestReceipt:
+        """Ingest a batch of records with one version bump per touched shard."""
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def range_query(self, start: float, end: float) -> List[PositioningRecord]:
+        """Records with timestamps in ``[start, end]``, in time order."""
+
+    @abstractmethod
+    def version_token(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> VersionToken:
+        """A hashable token pinning the state of the records in ``[start, end]``.
+
+        With no window, the token covers the whole table.  Two calls return
+        equal tokens exactly when every record visible to the window (and the
+        set of shards that could hold such records) is unchanged between
+        them; tokens from different store instances never compare equal.
+        """
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def evict_before(self, timestamp: float) -> int:
+        """Drop whole shards that end at or before ``timestamp``.
+
+        Returns the number of records dropped.  Backends without a shard
+        structure cannot evict consistently and refuse.
+        """
+        raise NotImplementedError(
+            f"the {self.kind!r} record store does not support retention "
+            "eviction; use a sharded store"
+        )
+
+    @property
+    def eviction_watermark(self) -> float:
+        """Timestamps strictly below this may have been evicted (``-inf`` if none)."""
+        return float("-inf")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def __len__(self) -> int:
+        ...
+
+    @abstractmethod
+    def records_in_time_order(self) -> Sequence[PositioningRecord]:
+        """Every stored record in global time order (arrival order on ties)."""
+
+    @abstractmethod
+    def time_span(self) -> Tuple[float, float]:
+        """``(earliest, latest)`` stored timestamps, ``(inf, -inf)`` if empty."""
+
+    def describe(self) -> dict:
+        """Backend description for experiment logs."""
+        return {"kind": self.kind, "records": len(self)}
+
+
+def check_not_evicted(store: RecordStore, start: float, end: float) -> None:
+    """Raise :class:`EvictedRangeError` when ``[start, end]`` reaches evicted data."""
+    watermark = store.eviction_watermark
+    if start < watermark:
+        raise EvictedRangeError(start, end, watermark)

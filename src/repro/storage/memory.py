@@ -1,0 +1,121 @@
+"""The flat in-memory record store (the seed's IUPT internals).
+
+One record list and two whole-table time indexes (the paper's 1D R-tree plus
+the B+-tree of the index ablation), inserted into record by record.  The only
+behavioural change from the seed is versioning: a batch ingested through
+:meth:`InMemoryRecordStore.ingest_batch` bumps the table version once instead
+of once per record, so a streamed-in batch no longer churns the engine's
+cache key once per appended row.  The token still covers the whole table —
+any ingestion invalidates every cached window — which is exactly the
+granularity the sharded store improves on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..data.records import PositioningRecord
+from ..indexes import BPlusTree, OneDimensionalRTree
+from .base import IngestReceipt, RecordStore, STORE_UIDS, VersionToken
+
+#: The pseudo-shard identifier the flat store reports in receipts/tokens.
+WHOLE_TABLE = "table"
+
+
+class InMemoryRecordStore(RecordStore):
+    """Flat record list behind whole-table time indexes.
+
+    Parameters
+    ----------
+    index_kind:
+        ``"1dr-tree"`` (the paper's choice) or ``"bplus-tree"``; selects the
+        index answering :meth:`range_query`.  Both indexes are maintained so
+        the index ablation can switch kinds over identical contents.
+    """
+
+    kind = "flat"
+
+    VALID_INDEXES = ("1dr-tree", "bplus-tree")
+
+    def __init__(self, index_kind: str = "1dr-tree"):
+        if index_kind not in self.VALID_INDEXES:
+            raise ValueError(
+                f"unknown index kind {index_kind!r}; expected one of {self.VALID_INDEXES}"
+            )
+        self._index_kind = index_kind
+        self._records: List[PositioningRecord] = []
+        self._rtree: OneDimensionalRTree[PositioningRecord] = OneDimensionalRTree()
+        self._bptree: BPlusTree[PositioningRecord] = BPlusTree()
+        self._uid = next(STORE_UIDS)
+        self._version = 0
+
+    @property
+    def index_kind(self) -> str:
+        return self._index_kind
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def _insert(self, record: PositioningRecord) -> None:
+        self._records.append(record)
+        self._rtree.insert(record.timestamp, record)
+        self._bptree.insert(record.timestamp, record)
+
+    def append(self, record: PositioningRecord) -> None:
+        self._insert(record)
+        self._version += 1
+
+    def ingest_batch(self, records: Iterable[PositioningRecord]) -> IngestReceipt:
+        count = 0
+        for record in records:
+            self._insert(record)
+            count += 1
+        if count:
+            self._version += 1
+        return IngestReceipt(
+            records_ingested=count,
+            shards_touched=(WHOLE_TABLE,) if count else (),
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query(self, start: float, end: float) -> List[PositioningRecord]:
+        if self._index_kind == "1dr-tree":
+            return self._rtree.range_query(start, end)
+        return self._bptree.range_query(start, end)
+
+    def version_token(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> VersionToken:
+        # Whole-table granularity regardless of the window: the flat store
+        # cannot tell which part of the table an ingestion touched.
+        return (self._uid, self._version)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records_in_time_order(self) -> Sequence[PositioningRecord]:
+        # The R-tree keeps (timestamp, record) pairs sorted with arrival
+        # order preserved on ties.
+        return tuple(record for _, record in self._rtree)
+
+    @property
+    def records_in_arrival_order(self) -> Sequence[PositioningRecord]:
+        """The records exactly as appended (the seed's ``IUPT.records``)."""
+        return tuple(self._records)
+
+    def time_span(self) -> Tuple[float, float]:
+        if not self._records:
+            return (float("inf"), float("-inf"))
+        timestamps = [r.timestamp for r in self._records]
+        return (min(timestamps), max(timestamps))
+
+    def describe(self) -> dict:
+        summary = super().describe()
+        summary["index_kind"] = self._index_kind
+        summary["version"] = self._version
+        return summary

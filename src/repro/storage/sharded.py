@@ -1,0 +1,287 @@
+"""The time-partitioned sharded record store.
+
+Records are partitioned into fixed-duration time shards (shard key
+``floor(timestamp / shard_seconds)``).  Each shard owns its records in time
+order plus one bulk-loaded time index, and carries its own version counter:
+
+* **window queries prune to overlapping shards** — a query first selects the
+  shards whose time range intersects the window (two bisections over the
+  sorted shard keys), serves fully-covered shards straight from their sorted
+  record lists, and only consults a shard's index for the (at most two)
+  partially-covered boundary shards;
+* **batch ingestion costs one bulk index build per touched shard** — the
+  batch is sorted once, sliced per shard, merged into each shard's record
+  list, and the shard's index is rebuilt with the bulk-load constructor
+  (:meth:`~repro.indexes.interval_index.OneDimensionalRTree.from_sorted` /
+  :meth:`~repro.indexes.bplustree.BPlusTree.bulk_load`) instead of one
+  insert per record;
+* **versions advance per shard** — :meth:`ShardedRecordStore.version_token`
+  over a window only covers the overlapping shards, so the engine's cached
+  presences die exactly when a batch touches the shards their windows read;
+* **retention drops whole shards** — :meth:`ShardedRecordStore.evict_before`
+  removes shards ending at or before the cut-off and records a watermark;
+  later queries reaching below the watermark raise
+  :class:`~repro.storage.base.EvictedRangeError` instead of silently
+  answering from partial history.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..data.records import PositioningRecord
+from ..indexes import BPlusTree, OneDimensionalRTree
+from .base import (
+    IngestReceipt,
+    RecordStore,
+    STORE_UIDS,
+    VersionToken,
+    check_not_evicted,
+)
+
+DEFAULT_SHARD_SECONDS = 600.0
+
+
+@dataclass
+class _Shard:
+    """One time partition: sorted records plus a bulk-loaded time index."""
+
+    key: int
+    records: List[PositioningRecord] = field(default_factory=list)
+    version: int = 0
+    _index: Optional[object] = None
+
+    def absorb(self, incoming: List[PositioningRecord]) -> None:
+        """Merge a time-sorted batch slice into this shard and bump its version.
+
+        ``list.sort`` is stable, so records already present keep preceding
+        newly ingested ones on timestamp ties — the same arrival-order tie
+        rule the flat store's insort-based path follows.
+        """
+        self.records.extend(incoming)
+        self.records.sort(key=lambda record: record.timestamp)
+        self._index = None
+        self.version += 1
+
+    def index(self, index_kind: str):
+        """The shard's time index, bulk-loaded lazily after the last absorb."""
+        if self._index is None:
+            pairs = [(record.timestamp, record) for record in self.records]
+            if index_kind == "1dr-tree":
+                self._index = OneDimensionalRTree.from_sorted(pairs)
+            else:
+                self._index = BPlusTree.bulk_load(pairs)
+        return self._index
+
+
+class ShardedRecordStore(RecordStore):
+    """Time-partitioned record store with per-shard bulk-loaded indexes.
+
+    Parameters
+    ----------
+    shard_seconds:
+        Duration of one time shard.  Shorter shards prune harder and
+        invalidate less on ingestion but carry more per-shard overhead;
+        the default suits report streams spanning minutes to hours.
+    index_kind:
+        ``"1dr-tree"`` (default) or ``"bplus-tree"``; the kind of index each
+        shard bulk-loads.
+    """
+
+    kind = "sharded"
+
+    VALID_INDEXES = ("1dr-tree", "bplus-tree")
+
+    def __init__(
+        self,
+        shard_seconds: float = DEFAULT_SHARD_SECONDS,
+        index_kind: str = "1dr-tree",
+    ):
+        if shard_seconds <= 0:
+            raise ValueError("shard_seconds must be positive")
+        if index_kind not in self.VALID_INDEXES:
+            raise ValueError(
+                f"unknown index kind {index_kind!r}; expected one of {self.VALID_INDEXES}"
+            )
+        self._shard_seconds = float(shard_seconds)
+        self._index_kind = index_kind
+        self._shards: Dict[int, _Shard] = {}
+        self._shard_keys: List[int] = []  # sorted view of self._shards
+        self._uid = next(STORE_UIDS)
+        self._count = 0
+        self._watermark = float("-inf")
+        self.shards_probed = 0
+        self.shards_pruned = 0
+
+    @property
+    def index_kind(self) -> str:
+        return self._index_kind
+
+    @property
+    def shard_seconds(self) -> float:
+        return self._shard_seconds
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_key(self, timestamp: float) -> int:
+        return math.floor(timestamp / self._shard_seconds)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def append(self, record: PositioningRecord) -> None:
+        self.ingest_batch((record,))
+
+    def ingest_batch(self, records: Iterable[PositioningRecord]) -> IngestReceipt:
+        batch = sorted(records, key=lambda record: record.timestamp)
+        if not batch:
+            return IngestReceipt()
+        if batch[0].timestamp < self._watermark:
+            raise ValueError(
+                f"batch contains records before the retention watermark "
+                f"t={self._watermark}; evicted shards cannot be refilled"
+            )
+
+        touched: List[int] = []
+        start = 0
+        while start < len(batch):
+            key = self.shard_key(batch[start].timestamp)
+            stop = start
+            while stop < len(batch) and self.shard_key(batch[stop].timestamp) == key:
+                stop += 1
+            shard = self._shards.get(key)
+            if shard is None:
+                shard = _Shard(key=key)
+                self._shards[key] = shard
+                insert_at = bisect_left(self._shard_keys, key)
+                self._shard_keys.insert(insert_at, key)
+            shard.absorb(batch[start:stop])
+            touched.append(key)
+            self._count += stop - start
+            start = stop
+
+        return IngestReceipt(
+            records_ingested=len(batch), shards_touched=tuple(touched)
+        )
+
+    # ------------------------------------------------------------------
+    # Shard selection
+    # ------------------------------------------------------------------
+    def overlapping_shard_keys(self, start: float, end: float) -> List[int]:
+        """The existing shard keys whose time range intersects ``[start, end]``."""
+        if start > end:
+            raise ValueError("query interval start must not exceed its end")
+        first = self.shard_key(start)
+        last = self.shard_key(end)
+        lo = bisect_left(self._shard_keys, first)
+        hi = bisect_right(self._shard_keys, last)
+        return self._shard_keys[lo:hi]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query(self, start: float, end: float) -> List[PositioningRecord]:
+        check_not_evicted(self, start, end)
+        overlapping = self.overlapping_shard_keys(start, end)
+        self.shards_probed += len(overlapping)
+        self.shards_pruned += len(self._shard_keys) - len(overlapping)
+
+        results: List[PositioningRecord] = []
+        for key in overlapping:
+            shard = self._shards[key]
+            shard_start = key * self._shard_seconds
+            shard_end = (key + 1) * self._shard_seconds
+            if start <= shard_start and shard_end <= end:
+                # Fully covered: the sorted record list IS the answer.
+                results.extend(shard.records)
+            else:
+                results.extend(shard.index(self._index_kind).range_query(start, end))
+        return results
+
+    def version_token(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> VersionToken:
+        # The eviction watermark is deliberately NOT part of the token:
+        # evicting shards strictly below a window leaves the window's
+        # visible records unchanged (its cached artefacts stay valid), a
+        # window that loses an overlapping shard changes token through the
+        # shard list itself, and a window reaching into evicted history
+        # raises EvictedRangeError before any cache read.
+        if start is None or end is None:
+            shard_part = tuple(
+                (key, self._shards[key].version) for key in self._shard_keys
+            )
+        else:
+            shard_part = tuple(
+                (key, self._shards[key].version)
+                for key in self.overlapping_shard_keys(start, end)
+            )
+        return (self._uid, shard_part)
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def evict_before(self, timestamp: float) -> int:
+        """Drop every shard whose time range ends at or before ``timestamp``."""
+        dropped = 0
+        kept_keys: List[int] = []
+        for key in self._shard_keys:
+            shard_end = (key + 1) * self._shard_seconds
+            if shard_end <= timestamp:
+                dropped += len(self._shards[key].records)
+                watermark = shard_end
+                del self._shards[key]
+                self._watermark = max(self._watermark, watermark)
+            else:
+                kept_keys.append(key)
+        self._shard_keys = kept_keys
+        self._count -= dropped
+        return dropped
+
+    @property
+    def eviction_watermark(self) -> float:
+        return self._watermark
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def records_in_time_order(self) -> Sequence[PositioningRecord]:
+        ordered: List[PositioningRecord] = []
+        for key in self._shard_keys:
+            ordered.extend(self._shards[key].records)
+        return tuple(ordered)
+
+    def time_span(self) -> Tuple[float, float]:
+        if not self._shard_keys:
+            return (float("inf"), float("-inf"))
+        earliest = self._shards[self._shard_keys[0]].records[0].timestamp
+        latest = max(
+            shard.records[-1].timestamp for shard in self._shards.values()
+        )
+        return (earliest, latest)
+
+    def shard_versions(self) -> Dict[int, int]:
+        """``shard key -> version`` snapshot (diagnostics and tests)."""
+        return {key: self._shards[key].version for key in self._shard_keys}
+
+    def describe(self) -> dict:
+        summary = super().describe()
+        summary.update(
+            {
+                "index_kind": self._index_kind,
+                "shard_seconds": self._shard_seconds,
+                "shards": len(self._shards),
+                "shards_probed": self.shards_probed,
+                "shards_pruned": self.shards_pruned,
+                "eviction_watermark": self._watermark,
+            }
+        )
+        return summary

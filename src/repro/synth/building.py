@@ -243,14 +243,54 @@ class GridBuildingGenerator:
     # P-locations and S-locations
     # ------------------------------------------------------------------
     def _add_presence_plocations(self, plan: FloorPlan) -> None:
+        """Lay the reference-point lattice, clamped to each partition's extent.
+
+        ``Rect.sample_grid`` yields nothing along a dimension shorter than
+        the step, which used to leave the (4 m wide) hallways without any
+        presence P-location: an object transiting a hallway could then only
+        report P-locations of *other* cells, its positioning sequence became
+        topologically inconsistent, every possible path died, and the whole
+        synthetic building produced all-zero flows.  Clamping the step per
+        partition guarantees every partition at least a centre line of
+        reference points, matching how a real fingerprint deployment always
+        covers its corridors.
+        """
         step = self._config.presence_grid_step
         for partition in list(plan.partitions.values()):
-            for point in partition.rect.sample_grid(step):
+            for point in clamped_lattice(partition.rect, step):
                 plan.add_presence_plocation(point, partition.partition_id)
 
     def _add_slocations(self, plan: FloorPlan) -> None:
         for partition in list(plan.partitions.values()):
             plan.add_slocation_for_partition(partition.partition_id)
+
+
+def clamped_lattice(rect: Rect, step: float) -> List[Point]:
+    """A regular interior lattice with the step clamped to the rect's extent.
+
+    Unlike :meth:`~repro.geometry.rect.Rect.sample_grid`, which yields
+    nothing along a dimension shorter than the step, this always covers the
+    rect: thin corridors get a centre line of points and degenerate rects
+    fall back to the centre point — the coverage rule every reference-point
+    deployment needs (see the all-zero-flows regression in
+    ``tests/test_synth.py``).
+    """
+    if step <= 0:
+        raise ValueError("step must be positive")  # same contract as sample_grid
+    step_x = min(step, rect.width)
+    step_y = min(step, rect.height)
+    if step_x <= 0 or step_y <= 0:
+        # Degenerate rect (zero-width/height), not a bad step.
+        return [rect.center]
+    points: List[Point] = []
+    x = rect.xmin + step_x / 2.0
+    while x <= rect.xmax - step_x / 2.0 + 1e-9:
+        y = rect.ymin + step_y / 2.0
+        while y <= rect.ymax - step_y / 2.0 + 1e-9:
+            points.append(Point(x, y, rect.floor))
+            y += step_y
+        x += step_x
+    return points or [rect.center]
 
 
 def build_grid_building(**overrides) -> GeneratedBuilding:

@@ -16,7 +16,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..data.iupt import IUPT
-from ..data.records import Sample, SampleSet
+from ..data.records import PositioningRecord, Sample, SampleSet
+from ..storage import DEFAULT_SHARD_SECONDS, make_store
 from ..data.trajectory import Trajectory, TrajectoryStore
 from ..geometry import Point, Rect
 from ..indexes import RTree
@@ -85,13 +86,68 @@ class WkNNPositioningSimulator:
     # ------------------------------------------------------------------
     # IUPT generation
     # ------------------------------------------------------------------
-    def generate(self, trajectories: TrajectoryStore, index_kind: str = "1dr-tree") -> IUPT:
-        """Generate an IUPT covering every trajectory in the store."""
-        iupt = IUPT(index_kind=index_kind)
-        for trajectory in trajectories:
-            for timestamp, sample_set in self.reports_for(trajectory):
-                iupt.report(trajectory.object_id, sample_set, timestamp)
+    def generate(
+        self,
+        trajectories: TrajectoryStore,
+        index_kind: str = "1dr-tree",
+        store_kind: str = "flat",
+        shard_seconds: Optional[float] = None,
+        batch_seconds: float = 60.0,
+    ) -> IUPT:
+        """Generate an IUPT covering every trajectory in the store.
+
+        The reports are ingested the way a live deployment receives them:
+        globally time-ordered, in batches of ``batch_seconds`` of traffic,
+        through :meth:`~repro.data.iupt.IUPT.ingest_batch`.  ``store_kind``
+        selects the storage backend (``"flat"`` or ``"sharded"``);
+        ``shard_seconds`` overrides the sharded store's partition duration.
+        """
+        store = make_store(
+            kind=store_kind,
+            index_kind=index_kind,
+            shard_seconds=(
+                shard_seconds if shard_seconds is not None else DEFAULT_SHARD_SECONDS
+            ),
+        )
+        iupt = IUPT(index_kind=index_kind, store=store)
+        self.stream_into(iupt, trajectories, batch_seconds=batch_seconds)
         return iupt
+
+    def stream_into(
+        self,
+        iupt: IUPT,
+        trajectories: TrajectoryStore,
+        batch_seconds: float = 60.0,
+    ) -> int:
+        """Stream every trajectory's reports into ``iupt`` in time-ordered batches.
+
+        Returns the number of ingested records.  Mirrors a positioning
+        backend forwarding report traffic to the storage layer every
+        ``batch_seconds``; on a sharded table each flush touches only the
+        shards its time slice overlaps.
+        """
+        if batch_seconds <= 0:
+            raise ValueError("batch_seconds must be positive")
+        records = [
+            PositioningRecord(trajectory.object_id, sample_set, timestamp)
+            for trajectory in trajectories
+            for timestamp, sample_set in self.reports_for(trajectory)
+        ]
+        records.sort(key=lambda record: record.timestamp)
+        total = 0
+        batch: List[PositioningRecord] = []
+        flush_at: Optional[float] = None
+        for record in records:
+            if flush_at is not None and record.timestamp >= flush_at:
+                total += iupt.ingest_batch(batch).records_ingested
+                batch = []
+                flush_at = None
+            if flush_at is None:
+                flush_at = record.timestamp + batch_seconds
+            batch.append(record)
+        if batch:
+            total += iupt.ingest_batch(batch).records_ingested
+        return total
 
     def reports_for(self, trajectory: Trajectory) -> List[Tuple[float, SampleSet]]:
         """The (timestamp, sample set) reports of one trajectory."""
@@ -116,23 +172,36 @@ class WkNNPositioningSimulator:
     # One report
     # ------------------------------------------------------------------
     def _sample_report(self, true_location: Point) -> Optional[SampleSet]:
+        """One WkNN report: the ``k`` best-matching reference points.
+
+        Every candidate matches the (simulated) fingerprint with a
+        noise-perturbed distance; the ``sample_count`` *best matches* are
+        reported, weighted by inverse matched distance — the selection rule
+        of weighted k-nearest-neighbour fingerprinting.  (An earlier version
+        drew the reported P-locations uniformly at random from the whole
+        candidate radius, which produced topologically incoherent
+        consecutive reports no real positioning system emits — and, through
+        the path construction's validity pruning, all-zero flows on the
+        synthetic grid building.)
+        """
         config = self._config
         candidates = self._candidate_plocations(true_location)
         if not candidates:
             return None
         sample_count = self._rng.randint(1, config.max_sample_set_size)
         sample_count = min(sample_count, len(candidates))
-        chosen = self._rng.sample(candidates, sample_count)
 
-        weighted: List[Tuple[int, float]] = []
-        for ploc_id in chosen:
+        matched: List[Tuple[float, int]] = []
+        for ploc_id in candidates:
             position = self._plan.plocations[ploc_id].position
             distance = max(position.distance_to(true_location), config.distance_epsilon)
             noise = self._rng.uniform(-config.weight_noise, config.weight_noise)
-            weight = 1.0 / (distance * (1.0 + noise))
-            weighted.append((ploc_id, weight))
-        total = sum(weight for _, weight in weighted)
-        samples = [Sample(ploc_id, weight / total) for ploc_id, weight in weighted]
+            matched.append((distance * (1.0 + noise), ploc_id))
+        matched.sort()
+        samples = [
+            Sample(ploc_id, 1.0 / match_distance)
+            for match_distance, ploc_id in matched[:sample_count]
+        ]
         return SampleSet(samples, normalise=True)
 
     def _candidate_plocations(self, true_location: Point) -> List[int]:

@@ -17,6 +17,7 @@ from typing import Dict, List, Tuple
 
 from ..geometry import Point, Rect
 from ..space import FloorPlan, PartitionKind
+from .building import clamped_lattice
 
 FLOOR_WIDTH = 33.9
 FLOOR_HEIGHT = 25.9
@@ -123,8 +124,13 @@ def _connect_hallways(
 
 
 def _add_presence_lattice(plan: FloorPlan, step: float) -> None:
+    # The clamped lattice guarantees coverage even when the step exceeds a
+    # partition's extent (the default 3.4 m step fits every partition here,
+    # but a caller-supplied step above the 5.9 m hallway-band height would
+    # otherwise leave the hallways without reference points — the all-zero-
+    # flows failure mode fixed for the grid generator).
     for partition in list(plan.partitions.values()):
-        for point in partition.rect.sample_grid(step):
+        for point in clamped_lattice(partition.rect, step):
             plan.add_presence_plocation(point, partition.partition_id)
 
 

@@ -89,7 +89,7 @@ class RFIDSimulator:
             table = self.deploy_readers()
         readers = list(table.readers.values())
         for trajectory in trajectories:
-            table.extend(self._records_for(trajectory, readers))
+            table.ingest_batch(self._records_for(trajectory, readers))
         return table
 
     def _records_for(

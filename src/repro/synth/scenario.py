@@ -100,13 +100,17 @@ def build_real_scenario(
     seed: int = 11,
     reduction: DataReductionConfig = DataReductionConfig.enabled(),
     with_rfid: bool = False,
+    store_kind: str = "flat",
+    shard_seconds: Optional[float] = None,
 ) -> Scenario:
     """Build the university-floor scenario of Section 5.2.
 
     The defaults follow the paper's reported data characteristics; the
     duration defaults to 30 simulated minutes (the paper uses 150) to keep
     test and benchmark runtimes reasonable — pass a larger value for
-    paper-scale runs.
+    paper-scale runs.  ``store_kind`` selects the IUPT storage backend
+    (``"flat"`` or ``"sharded"``); ``shard_seconds`` overrides the sharded
+    store's partition duration.
     """
     plan = build_university_floorplan()
     system = IndoorFlowSystem(plan, reduction=reduction)
@@ -127,7 +131,9 @@ def build_real_scenario(
         ),
         seed=seed + 1,
     )
-    iupt = positioning.generate(trajectories)
+    iupt = positioning.generate(
+        trajectories, store_kind=store_kind, shard_seconds=shard_seconds
+    )
 
     rfid = None
     if with_rfid:
@@ -161,12 +167,14 @@ def build_synthetic_scenario(
     duration_seconds: float = 900.0,
     max_period_seconds: float = 3.0,
     max_sample_set_size: int = 4,
-    positioning_error: float = 5.0,
+    positioning_error: float = 2.0,
     presence_grid_step: float = 6.0,
     max_speed: float = 1.0,
     seed: int = 23,
     reduction: DataReductionConfig = DataReductionConfig.enabled(),
     with_rfid: bool = False,
+    store_kind: str = "flat",
+    shard_seconds: Optional[float] = None,
 ) -> Scenario:
     """Build the Vita-like synthetic scenario of Section 5.3.
 
@@ -174,7 +182,15 @@ def build_synthetic_scenario(
     minutes) so the full benchmark suite runs in minutes on a laptop; every
     knob of the paper's Table 6 (``|O|``, ``T``, ``µ``, ``mss``, ``Δt``) is a
     parameter, and floors / rooms can be dialled up to the paper's 5-floor,
-  100-rooms-per-floor configuration for full-scale runs.
+    100-rooms-per-floor configuration for full-scale runs.
+
+    The default positioning error matches the real dataset's reported
+    ~2.1 m: with 12 m rooms, a larger µ (the historical default was 5 m,
+    i.e. a 10 m candidate radius) makes the simulated WkNN report reference
+    points from beyond a whole room away, which yields topologically
+    impossible positioning sequences and all-zero flows.  ``store_kind``
+    selects the IUPT storage backend (``"flat"`` or ``"sharded"``);
+    ``shard_seconds`` overrides the sharded store's partition duration.
     """
     building = GridBuildingGenerator(
         BuildingConfig(
@@ -210,7 +226,9 @@ def build_synthetic_scenario(
         ),
         seed=seed + 1,
     )
-    iupt = positioning.generate(trajectories)
+    iupt = positioning.generate(
+        trajectories, store_kind=store_kind, shard_seconds=shard_seconds
+    )
 
     rfid = None
     if with_rfid:

@@ -48,6 +48,12 @@ def test_batch_queries_runs_and_strategies_agree(capsys):
     assert "All strategies agree on every ranking" in output
 
 
+def test_streaming_ingest_runs_and_demonstrates_invalidation(capsys):
+    output = _run_example("streaming_ingest.py", capsys)
+    assert "cache hits, 0 misses" in output
+    assert "query into evicted history refused" in output
+
+
 def test_examples_directory_contains_at_least_three_scripts():
     scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
     assert len(scripts) >= 3

@@ -137,6 +137,28 @@ class TestOneDimensionalRTree:
         tree.insert(2.0, 2)
         assert tree.time_span == (2.0, 4.0)
 
+    def test_from_sorted_matches_insert_built(self):
+        rng = random.Random(3)
+        pairs = sorted(
+            ((round(rng.uniform(0, 100), 1), i) for i in range(300)),
+            key=lambda pair: pair[0],
+        )
+        inserted: OneDimensionalRTree[int] = OneDimensionalRTree(
+            leaf_capacity=8, fanout=4
+        )
+        for ts, value in pairs:
+            inserted.insert(ts, value)
+        bulk = OneDimensionalRTree.from_sorted(pairs, leaf_capacity=8, fanout=4)
+        assert len(bulk) == len(inserted)
+        assert bulk.height == inserted.height
+        for window in ((0, 100), (25.5, 30.5), (99.9, 99.9)):
+            assert bulk.range_query(*window) == inserted.range_query(*window)
+
+    def test_from_sorted_empty(self):
+        tree = OneDimensionalRTree.from_sorted([])
+        assert len(tree) == 0
+        assert tree.range_query(0, 10) == []
+
 
 class TestBPlusTree:
     def test_range_query_matches_filter(self):
@@ -174,3 +196,34 @@ class TestBPlusTree:
     def test_invalid_order(self):
         with pytest.raises(ValueError):
             BPlusTree(order=2)
+
+    def test_bulk_load_matches_insert_built(self):
+        rng = random.Random(21)
+        pairs = sorted(
+            ((round(rng.uniform(0, 50), 1), i) for i in range(400)),
+            key=lambda pair: pair[0],
+        )
+        inserted: BPlusTree[int] = BPlusTree(order=8)
+        for key, value in pairs:
+            inserted.insert(key, value)
+        bulk = BPlusTree.bulk_load(pairs, order=8)
+        assert len(bulk) == len(inserted)
+        assert list(bulk.items()) == list(inserted.items())
+        for window in ((0, 50), (12.5, 13.5), (49.9, 50.0), (7.0, 7.0)):
+            assert bulk.range_query(*window) == inserted.range_query(*window)
+
+    def test_bulk_load_groups_duplicates_in_order(self):
+        bulk = BPlusTree.bulk_load([(1.0, "a"), (1.0, "b"), (2.0, "c")], order=4)
+        assert bulk.get(1.0) == ["a", "b"]
+        assert len(bulk) == 3
+
+    def test_bulk_load_empty(self):
+        bulk: BPlusTree[int] = BPlusTree.bulk_load([])
+        assert len(bulk) == 0
+        assert bulk.range_query(0, 10) == []
+
+    def test_bulk_loaded_tree_accepts_further_inserts(self):
+        bulk = BPlusTree.bulk_load(((float(i), i) for i in range(100)), order=8)
+        bulk.insert(50.5, 999)
+        assert 999 in bulk.range_query(50, 51)
+        assert len(bulk) == 101

@@ -1,0 +1,357 @@
+"""Tests for the storage layer: flat/sharded equivalence, versioning, eviction.
+
+The property the whole layer hangs on: a sharded table is *indistinguishable*
+from a flat one through every query path — range queries, per-object
+sequences, flows, and TkPLQ rankings must be bit-identical — while ingestion
+versions advance per shard and window queries prune to overlapping shards.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import EngineConfig, IUPT, QueryEngine, SampleSet
+from repro.data.records import PositioningRecord
+from repro.storage import (
+    EvictedRangeError,
+    InMemoryRecordStore,
+    ShardedRecordStore,
+    make_store,
+)
+
+
+def _record(object_id: int, ploc: int, timestamp: float) -> PositioningRecord:
+    return PositioningRecord(object_id, SampleSet.certain(ploc), timestamp)
+
+
+def _mixed_records(count: int = 120, seed: int = 5):
+    """Deterministic records spanning several 10-second shards, with ties."""
+    rng = random.Random(seed)
+    records = []
+    for i in range(count):
+        timestamp = round(rng.uniform(0.0, 60.0), 1)  # ties are likely
+        records.append(_record(i % 7, (i * 3) % 9, timestamp))
+    return records
+
+
+class TestStoreEquivalence:
+    @pytest.fixture()
+    def pair(self):
+        flat = IUPT()
+        sharded = IUPT.sharded(shard_seconds=10.0)
+        records = _mixed_records()
+        flat.extend(records)
+        sharded.ingest_batch(records)
+        return flat, sharded
+
+    @pytest.mark.parametrize(
+        "window",
+        [
+            (0.0, 60.0),  # everything
+            (9.5, 10.5),  # straddles one shard boundary
+            (5.0, 35.0),  # straddles several boundaries
+            (10.0, 20.0),  # exactly one shard (inclusive right boundary)
+            (17.3, 17.3),  # point query
+            (100.0, 200.0),  # empty
+        ],
+    )
+    def test_range_query_identical(self, pair, window):
+        flat, sharded = pair
+        flat_result = [
+            (r.object_id, r.timestamp, r.sample_set)
+            for r in flat.range_query(*window)
+        ]
+        sharded_result = [
+            (r.object_id, r.timestamp, r.sample_set)
+            for r in sharded.range_query(*window)
+        ]
+        assert flat_result == sharded_result
+
+    def test_sequences_identical_across_boundaries(self, pair):
+        flat, sharded = pair
+        for window in ((0.0, 60.0), (9.0, 31.0), (19.9, 20.1)):
+            assert flat.sequences_in(*window) == sharded.sequences_in(*window)
+
+    def test_introspection_matches(self, pair):
+        flat, sharded = pair
+        assert len(flat) == len(sharded)
+        assert flat.object_ids() == sharded.object_ids()
+        assert flat.time_span() == sharded.time_span()
+        assert flat.summary()["records"] == sharded.summary()["records"]
+
+    def test_transformations_preserve_store_kind(self, pair):
+        _, sharded = pair
+        truncated = sharded.with_max_sample_set_size(1)
+        filtered = sharded.filtered_to_objects([0, 1])
+        assert isinstance(truncated.store, ShardedRecordStore)
+        assert isinstance(filtered.store, ShardedRecordStore)
+        assert truncated.store.shard_seconds == sharded.store.shard_seconds
+        assert filtered.object_ids() == [0, 1]
+
+
+class TestShardedStore:
+    def test_shard_pruning_probes_only_overlapping_shards(self):
+        store = ShardedRecordStore(shard_seconds=10.0)
+        store.ingest_batch([_record(1, 1, float(t)) for t in range(0, 60)])
+        assert store.shard_count == 6
+        assert store.overlapping_shard_keys(25.0, 34.9) == [2, 3]
+        before = store.shards_probed
+        store.range_query(25.0, 34.9)
+        assert store.shards_probed - before == 2
+
+    def test_batch_slices_bump_only_touched_shards(self):
+        store = ShardedRecordStore(shard_seconds=10.0)
+        store.ingest_batch([_record(1, 1, float(t)) for t in (1.0, 11.0, 21.0)])
+        assert store.shard_versions() == {0: 1, 1: 1, 2: 1}
+        receipt = store.ingest_batch([_record(2, 2, 15.0), _record(2, 2, 16.0)])
+        assert receipt.shards_touched == (1,)
+        assert store.shard_versions() == {0: 1, 1: 2, 2: 1}
+
+    def test_version_token_scoped_to_window(self):
+        store = ShardedRecordStore(shard_seconds=10.0)
+        store.ingest_batch([_record(1, 1, 5.0), _record(1, 1, 15.0)])
+        early = store.version_token(0.0, 9.0)
+        late = store.version_token(10.0, 19.0)
+        store.ingest_batch([_record(2, 2, 17.0)])
+        assert store.version_token(0.0, 9.0) == early
+        assert store.version_token(10.0, 19.0) != late
+
+    def test_new_shard_invalidates_window_that_now_overlaps_it(self):
+        store = ShardedRecordStore(shard_seconds=10.0)
+        store.ingest_batch([_record(1, 1, 5.0)])
+        token = store.version_token(0.0, 25.0)
+        store.ingest_batch([_record(2, 2, 15.0)])
+        assert store.version_token(0.0, 25.0) != token
+
+    def test_tokens_differ_between_instances(self):
+        a = ShardedRecordStore(shard_seconds=10.0)
+        b = ShardedRecordStore(shard_seconds=10.0)
+        record = _record(1, 1, 5.0)
+        a.ingest_batch([record])
+        b.ingest_batch([record])
+        assert a.version_token() != b.version_token()
+
+    def test_negative_timestamps_shard_correctly(self):
+        store = ShardedRecordStore(shard_seconds=10.0)
+        store.ingest_batch([_record(1, 1, -5.0), _record(1, 2, 5.0)])
+        assert [r.timestamp for r in store.range_query(-10.0, 0.0)] == [-5.0]
+        assert len(store.range_query(-10.0, 10.0)) == 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ShardedRecordStore(shard_seconds=0.0)
+        with pytest.raises(ValueError):
+            ShardedRecordStore(index_kind="hash")
+        with pytest.raises(ValueError):
+            make_store(kind="replicated")
+
+    def test_bplus_index_kind_answers_identically(self):
+        records = _mixed_records(count=80, seed=9)
+        rtree_store = ShardedRecordStore(shard_seconds=10.0, index_kind="1dr-tree")
+        bplus_store = ShardedRecordStore(shard_seconds=10.0, index_kind="bplus-tree")
+        rtree_store.ingest_batch(records)
+        bplus_store.ingest_batch(records)
+        for window in ((0.0, 60.0), (7.5, 42.5)):
+            assert [
+                (r.object_id, r.timestamp) for r in rtree_store.range_query(*window)
+            ] == [
+                (r.object_id, r.timestamp) for r in bplus_store.range_query(*window)
+            ]
+
+
+class TestEviction:
+    def _store(self) -> ShardedRecordStore:
+        store = ShardedRecordStore(shard_seconds=10.0)
+        store.ingest_batch([_record(1, 1, float(t)) for t in range(0, 50)])
+        return store
+
+    def test_evicts_whole_shards_only(self):
+        store = self._store()
+        dropped = store.evict_before(25.0)  # shards [0,10) and [10,20) go
+        assert dropped == 20
+        assert store.eviction_watermark == 20.0
+        assert len(store) == 30
+
+    def test_query_into_evicted_range_raises(self):
+        store = self._store()
+        store.evict_before(25.0)
+        with pytest.raises(EvictedRangeError) as excinfo:
+            store.range_query(5.0, 45.0)
+        assert "evicted" in str(excinfo.value)
+        # Queries entirely above the watermark still work.
+        assert len(store.range_query(20.0, 45.0)) == 26
+
+    def test_flow_on_evicted_window_raises_not_partial(self):
+        """An engine query reaching evicted history fails loudly.
+
+        A silently partial flow would look exactly like a small real flow;
+        the storage layer must make the truncation impossible to miss.
+        """
+        iupt, engine = _figure_like_table(sharded=True)
+        iupt.evict_before(15.0)
+        with pytest.raises(EvictedRangeError):
+            engine.flow(iupt, 0, 0.0, 30.0)
+        # A window in the surviving range still answers.
+        engine.flow(iupt, 0, 20.0, 30.0)
+
+    def test_refilling_evicted_range_rejected(self):
+        store = self._store()
+        store.evict_before(25.0)
+        with pytest.raises(ValueError):
+            store.ingest_batch([_record(9, 1, 5.0)])
+
+    def test_flat_store_refuses_eviction(self):
+        flat = InMemoryRecordStore()
+        with pytest.raises(NotImplementedError):
+            flat.evict_before(10.0)
+
+    def test_eviction_below_a_window_keeps_its_token(self):
+        """Routine retention must not invalidate cached windows above it."""
+        store = self._store()
+        token = store.version_token(30.0, 45.0)
+        store.evict_before(25.0)
+        assert store.version_token(30.0, 45.0) == token
+
+
+class TestBatchVersioning:
+    def test_flat_extend_bumps_version_once_per_batch(self):
+        iupt = IUPT()
+        before = iupt.data_key
+        iupt.extend([_record(1, 1, float(t)) for t in range(10)])
+        after = iupt.data_key
+        assert after[1] - before[1] == 1
+
+    def test_flat_append_bumps_per_record(self):
+        iupt = IUPT()
+        before = iupt.data_key
+        iupt.append(_record(1, 1, 0.0))
+        iupt.append(_record(1, 1, 1.0))
+        assert iupt.data_key[1] - before[1] == 2
+
+    def test_ingest_receipt_reports_touched_shards(self):
+        iupt = IUPT.sharded(shard_seconds=10.0)
+        receipt = iupt.ingest_batch(
+            [_record(1, 1, 5.0), _record(1, 1, 15.0), _record(1, 1, 17.0)]
+        )
+        assert receipt.records_ingested == 3
+        assert receipt.shards_touched == (0, 1)
+
+
+def _figure_like_table(sharded: bool):
+    """A tiny two-room space plus an engine, for storage/engine integration."""
+    from repro import FloorPlan, PartitionKind, Point, Rect
+    from repro.space import IndoorLocationMatrix, IndoorSpaceLocationGraph
+
+    plan = FloorPlan()
+    room = plan.add_partition(Rect(0, 0, 6, 6), PartitionKind.ROOM, name="room")
+    hall = plan.add_partition(Rect(0, 6, 12, 10), PartitionKind.HALLWAY, name="hall")
+    door = plan.add_door(Point(3.0, 6.0), (room, hall))
+    door_ploc = plan.add_partitioning_plocation(Point(3.0, 6.0), door)
+    room_ploc = plan.add_presence_plocation(Point(3.0, 3.0), room)
+    hall_ploc = plan.add_presence_plocation(Point(9.0, 8.0), hall)
+    for partition in (room, hall):
+        plan.add_slocation_for_partition(partition)
+    plan.freeze()
+    graph = IndoorSpaceLocationGraph.from_floorplan(plan)
+    matrix = IndoorLocationMatrix.from_graph(graph).merged(graph)
+    engine = QueryEngine(graph, matrix)
+
+    iupt = IUPT.sharded(shard_seconds=10.0) if sharded else IUPT()
+    for t in range(0, 30, 2):
+        ploc = room_ploc if (t // 10) % 2 == 0 else hall_ploc
+        iupt.report(1, SampleSet.from_pairs([(ploc, 0.7), (door_ploc, 0.3)]), float(t))
+    return iupt, engine
+
+
+class TestShardGranularInvalidation:
+    """Regression: one ingest_batch invalidates at most the overlapping entries."""
+
+    def test_ingest_preserves_cache_hits_for_non_overlapping_windows(self):
+        iupt, engine = _figure_like_table(sharded=True)
+        early, late = (0.0, 9.0), (20.0, 29.0)
+
+        engine.flow(iupt, 0, *early)
+        engine.flow(iupt, 0, *late)
+        warm_baseline = engine.store.stats.hits
+        engine.flow(iupt, 0, *early)
+        assert engine.store.stats.hits > warm_baseline  # cache is warm
+
+        # Stream a batch into the late shard only.
+        iupt.ingest_batch(
+            [_record(1, 1, 25.0)]
+        )
+
+        hits_before = engine.store.stats.hits
+        misses_before = engine.store.stats.misses
+        early_again = engine.flow(iupt, 0, *early)
+        assert engine.store.stats.hits > hits_before, (
+            "a batch touching only the late shard must not invalidate the "
+            "early window's cached presences"
+        )
+        assert engine.store.stats.misses == misses_before
+        del early_again
+
+        # The overlapping window, by contrast, must recompute.
+        misses_before = engine.store.stats.misses
+        engine.flow(iupt, 0, *late)
+        assert engine.store.stats.misses > misses_before
+
+    def test_flat_store_invalidates_everything(self):
+        iupt, engine = _figure_like_table(sharded=False)
+        early, late = (0.0, 9.0), (20.0, 29.0)
+        engine.flow(iupt, 0, *early)
+        iupt.ingest_batch([_record(1, 1, 25.0)])
+        misses_before = engine.store.stats.misses
+        engine.flow(iupt, 0, *early)
+        assert engine.store.stats.misses > misses_before, (
+            "the flat store keys by whole-table version; any ingestion "
+            "invalidates every cached window"
+        )
+
+    def test_whole_table_keys_opt_out(self):
+        """shard_scoped_cache_keys=False reproduces invalidate-everything."""
+        iupt, engine_default = _figure_like_table(sharded=True)
+        # Rebuild an engine with shard-scoped keys disabled over the same space.
+        engine = QueryEngine(
+            engine_default.flow_computer.graph,
+            engine_default.flow_computer.matrix,
+            config=EngineConfig(shard_scoped_cache_keys=False),
+        )
+        early = (0.0, 9.0)
+        engine.flow(iupt, 0, *early)
+        iupt.ingest_batch([_record(1, 1, 25.0)])
+        misses_before = engine.store.stats.misses
+        engine.flow(iupt, 0, *early)
+        assert engine.store.stats.misses > misses_before
+
+
+class TestEngineEquivalenceOnScenario:
+    """Sharded and flat scenarios answer TkPLQ bit-identically."""
+
+    def test_rankings_bit_identical_across_stores(self, small_real_scenario):
+        scenario = small_real_scenario
+        flat_iupt = scenario.iupt
+        sharded_iupt = IUPT.sharded(shard_seconds=60.0)
+        sharded_iupt.ingest_batch(flat_iupt.records)
+
+        slocs = scenario.slocation_ids()
+        # Windows chosen to straddle the 60-second shard boundaries.
+        windows = [(30.0, 90.0), (0.0, 240.0), (59.0, 61.0)]
+        for window in windows:
+            flat_flows = scenario.system.flows(flat_iupt, slocs, *window)
+            sharded_flows = scenario.system.flows(sharded_iupt, slocs, *window)
+            assert flat_flows == sharded_flows  # exact float equality
+
+        for algorithm in ("naive", "nested-loop", "best-first"):
+            flat_result = scenario.system.top_k(
+                flat_iupt, slocs, k=3, start=30.0, end=90.0, algorithm=algorithm
+            )
+            sharded_result = scenario.system.top_k(
+                sharded_iupt, slocs, k=3, start=30.0, end=90.0, algorithm=algorithm
+            )
+            assert flat_result.top_k_ids() == sharded_result.top_k_ids()
+            assert [e.flow for e in flat_result.ranking] == [
+                e.flow for e in sharded_result.ranking
+            ]
