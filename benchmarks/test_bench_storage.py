@@ -30,6 +30,7 @@ from typing import Dict, List
 
 from repro import IUPT, SampleSet
 from repro.data.records import PositioningRecord
+from repro.experiments.runner import split_into_time_batches
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 REPORT_PATH = REPO_ROOT / "BENCH_storage.json"
@@ -67,18 +68,7 @@ def _report_stream() -> List[PositioningRecord]:
 
 def _stream_batches(records: List[PositioningRecord]) -> List[List[PositioningRecord]]:
     """Slice the stream the way a live loader flushes it: every N seconds."""
-    batches: List[List[PositioningRecord]] = []
-    current: List[PositioningRecord] = []
-    boundary = STREAM_BATCH_SECONDS
-    for record in records:
-        while record.timestamp >= boundary:
-            batches.append(current)
-            current = []
-            boundary += STREAM_BATCH_SECONDS
-        current.append(record)
-    if current:
-        batches.append(current)
-    return batches
+    return split_into_time_batches(records, 0.0, STREAM_BATCH_SECONDS)
 
 
 def _query_windows() -> List[tuple]:

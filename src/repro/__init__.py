@@ -50,11 +50,13 @@ from .engine import (
     BatchPlanner,
     BatchReport,
     CacheStats,
+    ContinuousQueryEngine,
     EngineConfig,
     ExecutionContext,
     PresenceStore,
     QueryEngine,
     QueryPipeline,
+    Subscription,
 )
 from .eval import (
     MethodOutcome,
@@ -89,7 +91,11 @@ from .synth import (
 # (flat in-memory or time-partitioned sharded), with streaming ingest_batch,
 # per-shard versioning / shard-scoped cache keys, and retention eviction.
 # IUPT.extend now bumps the data version once per batch (was: per record).
-__version__ = "3.0.0"
+# 3.1.0: continuous queries. Stores publish ingest/eviction events
+# (IUPT.subscribe); ContinuousQueryEngine maintains standing TkPLQ / flow
+# results incrementally after every batch, re-keying untouched objects'
+# cached presences instead of recomputing them.
+__version__ = "3.1.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -97,6 +103,7 @@ __all__ = [
     "BatchReport",
     "BestFirstTkPLQ",
     "CacheStats",
+    "ContinuousQueryEngine",
     "DataReducer",
     "DataReductionConfig",
     "EngineConfig",
@@ -133,6 +140,7 @@ __all__ = [
     "SearchStats",
     "SemiConstrainedCounting",
     "SimpleCounting",
+    "Subscription",
     "TkPLQResult",
     "TkPLQuery",
     "Trajectory",

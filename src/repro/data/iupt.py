@@ -33,6 +33,7 @@ from ..storage import (
     InMemoryRecordStore,
     RecordStore,
     ShardedRecordStore,
+    StoreListener,
     VersionToken,
 )
 from .records import PositioningRecord, SampleSet
@@ -121,6 +122,22 @@ class IUPT:
     def report(self, object_id: int, sample_set: SampleSet, timestamp: float) -> None:
         """Convenience wrapper building the record in place."""
         self.append(PositioningRecord(object_id, sample_set, timestamp))
+
+    def subscribe(self, listener: StoreListener) -> int:
+        """Register a store listener (ingest / eviction events).
+
+        Listeners receive :class:`~repro.storage.base.IngestEvent` after each
+        ingestion and :class:`~repro.storage.base.EvictionEvent` after each
+        eviction that dropped records, synchronously and after the table is
+        consistent again.  The continuous-query subsystem
+        (:mod:`repro.engine.continuous`) maintains its standing results
+        through this hook.  Returns a token for :meth:`unsubscribe`.
+        """
+        return self._store.subscribe(listener)
+
+    def unsubscribe(self, token: int) -> bool:
+        """Remove a store listener by its :meth:`subscribe` token."""
+        return self._store.unsubscribe(token)
 
     def evict_before(self, timestamp: float) -> int:
         """Drop whole shards ending at or before ``timestamp`` (sharded only).

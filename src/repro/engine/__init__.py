@@ -10,14 +10,27 @@ This package turns the core algorithms into an explicit execution engine:
   (fetch → reduce → paths → presence) and :class:`QueryPipeline`;
 * :mod:`~repro.engine.executors` — serial / thread / process executors;
 * :mod:`~repro.engine.batch` — :class:`BatchPlanner`, many queries per pass;
+* :mod:`~repro.engine.continuous` — :class:`ContinuousQueryEngine`,
+  incrementally maintained standing queries over streaming ingestion;
 * :mod:`~repro.engine.runtime` — :class:`QueryEngine`, the facade everything
   (including :class:`~repro.core.engine.IndoorFlowSystem`) goes through.
 """
 
-from .batch import BATCH_ALGORITHM, BatchPlanner, BatchReport
+from .batch import (
+    BATCH_ALGORITHM,
+    BatchPlanner,
+    BatchReport,
+    score_query_over_entries,
+)
 from .cache import CacheStats, PresenceStore, StoredPresence, make_store_key
-from .config import EXECUTOR_KINDS, EngineConfig
+from .config import CONTINUOUS_REFRESH_KINDS, EXECUTOR_KINDS, EngineConfig
 from .context import ExecutionContext
+from .continuous import (
+    CONTINUOUS_ALGORITHM,
+    ContinuousQueryEngine,
+    Subscription,
+    SubscriptionStats,
+)
 from .executors import ParallelExecutor, SerialExecutor, make_executor
 from .runtime import QueryEngine
 from .stages import (
@@ -33,6 +46,9 @@ __all__ = [
     "BatchPlanner",
     "BatchReport",
     "CacheStats",
+    "CONTINUOUS_ALGORITHM",
+    "CONTINUOUS_REFRESH_KINDS",
+    "ContinuousQueryEngine",
     "EXECUTOR_KINDS",
     "EngineConfig",
     "ExecutionContext",
@@ -46,6 +62,9 @@ __all__ = [
     "ReduceStage",
     "SerialExecutor",
     "StoredPresence",
+    "Subscription",
+    "SubscriptionStats",
     "make_executor",
     "make_store_key",
+    "score_query_over_entries",
 ]

@@ -24,9 +24,45 @@ from typing import Dict, List, Sequence, Tuple
 from ..core.nested_loop import score_presence_into_flows
 from ..core.query import SearchStats, TkPLQResult, TkPLQuery, rank_top_k
 from ..data.iupt import IUPT
+from .cache import StoredPresence
 from .stages import QueryPipeline
 
 BATCH_ALGORITHM = "batched-nested-loop"
+
+
+def score_query_over_entries(
+    query: TkPLQuery,
+    entries: Sequence[Tuple[int, StoredPresence]],
+    parent_cells: Dict[int, int],
+    objects_total: int,
+    algorithm: str = BATCH_ALGORITHM,
+) -> TkPLQResult:
+    """Score one query against shared per-object presence artefacts.
+
+    The per-query tail of a batched window group, shared with the
+    continuous-query subsystem so a standing query's refresh scores its
+    artefacts exactly like an ad-hoc batched query would — the bit-for-bit
+    equivalence of both against the nested-loop algorithm hangs on all three
+    using :func:`~repro.core.nested_loop.score_presence_into_flows` over
+    objects in the same (fetch) order.
+    """
+    query_began = time.perf_counter()
+    query_set = set(query.query_slocations)
+    stats = SearchStats()
+    stats.note_objects_total(objects_total)
+
+    flows: Dict[int, float] = {sloc_id: 0.0 for sloc_id in query.query_slocations}
+    for _object_id, entry in entries:
+        score_presence_into_flows(entry, query_set, parent_cells, flows, stats)
+
+    stats.elapsed_seconds = time.perf_counter() - query_began
+    return TkPLQResult(
+        query=query,
+        ranking=rank_top_k(flows, query.k),
+        flows=flows,
+        stats=stats,
+        algorithm=algorithm,
+    )
 
 
 @dataclass
@@ -130,25 +166,6 @@ class BatchPlanner:
         }
 
         for index in group:
-            query = queries[index]
-            query_began = time.perf_counter()
-            query_set = set(query.query_slocations)
-            stats = SearchStats()
-            stats.note_objects_total(len(sequences))
-
-            flows: Dict[int, float] = {
-                sloc_id: 0.0 for sloc_id in query.query_slocations
-            }
-            for _object_id, entry in entries:
-                score_presence_into_flows(
-                    entry, query_set, parent_cells, flows, stats
-                )
-
-            stats.elapsed_seconds = time.perf_counter() - query_began
-            results[index] = TkPLQResult(
-                query=query,
-                ranking=rank_top_k(flows, query.k),
-                flows=flows,
-                stats=stats,
-                algorithm=BATCH_ALGORITHM,
+            results[index] = score_query_over_entries(
+                queries[index], entries, parent_cells, len(sequences)
             )

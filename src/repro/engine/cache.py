@@ -96,6 +96,7 @@ class CacheStats:
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    rekeys: int = 0
 
     @property
     def lookups(self) -> int:
@@ -111,6 +112,7 @@ class CacheStats:
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
+            "rekeys": self.rekeys,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -176,6 +178,34 @@ class PresenceStore:
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+
+    def rekey(
+        self,
+        object_id: int,
+        window: Tuple[float, float],
+        query_slocations: Optional[Iterable[int]],
+        old_data_key: Optional[DataKey],
+        new_data_key: Optional[DataKey],
+    ) -> bool:
+        """Move one artefact from ``old_data_key`` to ``new_data_key``.
+
+        The delta-maintenance primitive of the continuous-query subsystem: an
+        object whose visible sequence a batch did *not* change still has a
+        valid artefact — it is merely keyed to the superseded version token.
+        Re-keying it (instead of recomputing it) is what makes an incremental
+        refresh cheaper than invalidate-and-recompute.  Returns whether an
+        entry was found under the old key; counts as neither hit nor miss.
+        """
+        old_key = make_store_key(object_id, window, query_slocations, old_data_key)
+        new_key = make_store_key(object_id, window, query_slocations, new_data_key)
+        with self._lock:
+            entry = self._entries.pop(old_key, None)
+            if entry is None:
+                return False
+            self._entries[new_key] = entry
+            self._entries.move_to_end(new_key)
+            self.stats.rekeys += 1
+            return True
 
     def clear(self) -> None:
         with self._lock:

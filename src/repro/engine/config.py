@@ -28,6 +28,14 @@ are executed independently of *what* is computed:
     presences whose query windows overlap the touched shards; disabling it
     keys by the whole-table version (the seed's invalidate-everything
     behaviour, kept for the invalidation-granularity benchmark).
+``continuous_refresh``
+    How the continuous-query subsystem maintains standing results after each
+    ingested batch: ``"incremental"`` (default) skips subscriptions whose
+    window token is unchanged and re-keys the cached presences of objects
+    the batch did not touch, so only actually-changed objects are
+    recomputed; ``"recompute"`` re-answers every standing query from the
+    (invalidated) cache on every event — the pre-continuous behaviour a
+    polling client would get, kept for the refresh-strategy benchmark.
 """
 
 from __future__ import annotations
@@ -36,6 +44,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 EXECUTOR_KINDS = ("serial", "thread", "process")
+
+CONTINUOUS_REFRESH_KINDS = ("incremental", "recompute")
 
 
 @dataclass(frozen=True)
@@ -47,11 +57,17 @@ class EngineConfig:
     parallel_threshold: int = 8
     presence_store_capacity: int = 4096
     shard_scoped_cache_keys: bool = True
+    continuous_refresh: str = "incremental"
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTOR_KINDS:
             raise ValueError(
                 f"unknown executor {self.executor!r}; expected one of {EXECUTOR_KINDS}"
+            )
+        if self.continuous_refresh not in CONTINUOUS_REFRESH_KINDS:
+            raise ValueError(
+                f"unknown continuous refresh {self.continuous_refresh!r}; "
+                f"expected one of {CONTINUOUS_REFRESH_KINDS}"
             )
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be at least 1 (or None for the default)")
@@ -92,4 +108,5 @@ class EngineConfig:
             "parallel_threshold": self.parallel_threshold,
             "presence_store_capacity": self.presence_store_capacity,
             "shard_scoped_cache_keys": self.shard_scoped_cache_keys,
+            "continuous_refresh": self.continuous_refresh,
         }

@@ -44,6 +44,12 @@ class ExecutionContext:
         :class:`~repro.engine.stages.FetchStage` and included in every store
         key so cached artefacts die with the (shard-scoped, on a sharded
         store) table state they were computed from.
+    pinned_data_key:
+        When set, :class:`~repro.engine.stages.FetchStage` adopts this token
+        instead of re-deriving one from the table.  The continuous-query
+        subsystem pins each refresh to the exact token it based its
+        skip/re-key decision on, so the artefacts the scoring pass reads are
+        guaranteed to be the ones that decision re-keyed.
     """
 
     window: Tuple[float, float]
@@ -52,6 +58,7 @@ class ExecutionContext:
     store: Optional["PresenceStore"] = None
     use_store: bool = True
     data_key: Optional[Tuple] = None
+    pinned_data_key: Optional[Tuple] = None
 
     @property
     def start(self) -> float:

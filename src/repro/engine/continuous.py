@@ -1,0 +1,418 @@
+"""Continuous queries: standing TkPLQ / flow results maintained over streaming.
+
+The paper frames TkPLQ as a one-shot query over an IUPT snapshot.  A live
+deployment instead keeps dashboards subscribed to *standing* queries while
+report batches stream in; re-answering every standing query from scratch
+after every batch wastes exactly the work the storage layer's shard-granular
+versioning was built to avoid.  This module closes the loop:
+
+* clients **register** standing queries against a
+  :class:`ContinuousQueryEngine` — a top-k query
+  (:meth:`ContinuousQueryEngine.register_top_k`) or a per-location flow set
+  (:meth:`ContinuousQueryEngine.register_flows`) — and read the always-fresh
+  result from the returned :class:`Subscription`;
+* the engine listens to the table's storage events
+  (:meth:`repro.data.iupt.IUPT.subscribe`) and refreshes the registered
+  results after every ``ingest_batch`` / ``evict_before``;
+* refreshes are **delta-maintained** (``continuous_refresh="incremental"``,
+  the default).  For each subscription and each
+  :class:`~repro.storage.base.IngestEvent`:
+
+  1. if the window-scoped version token
+     (:meth:`~repro.data.iupt.IUPT.data_key_for`) is unchanged, the batch
+     cannot have touched the window — the refresh is **skipped** outright
+     (on a sharded store this is the common case for historical windows);
+  2. otherwise the receipt's :attr:`~repro.storage.base.IngestReceipt.object_spans`
+     split the window's objects into *touched* (new records may overlap the
+     window) and *untouched*; untouched objects' cached presence artefacts
+     are **re-keyed** to the new token
+     (:meth:`~repro.engine.cache.PresenceStore.rekey`) — their visible
+     sequences are unchanged, so the artefacts are still valid — and only
+     touched objects are actually recomputed;
+  3. the flows are re-accumulated over all per-object artefacts in fetch
+     order and the top-k ranking is repaired from them, which keeps every
+     refreshed result **bit-identical** to a fresh engine's full recompute
+     (the differential harness in ``tests/test_continuous.py`` asserts
+     exactly this over random ingest/evict interleavings);
+
+* eviction past a registered window marks the subscription **evicted**: its
+  result accessor raises :class:`~repro.storage.base.EvictedRangeError`
+  instead of silently serving a result computed from truncated history.
+
+``continuous_refresh="recompute"`` disables steps 1-2 (every event re-answers
+every standing query through the invalidated cache) and exists as the
+baseline of ``benchmarks/test_bench_continuous.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..core.query import TkPLQResult, TkPLQuery
+from ..data.iupt import IUPT
+from ..storage import EvictedRangeError, EvictionEvent, IngestEvent, IngestReceipt
+from .batch import score_query_over_entries
+from .config import CONTINUOUS_REFRESH_KINDS
+from .stages import accumulate_flows_over_entries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import QueryEngine
+
+CONTINUOUS_ALGORITHM = "continuous"
+
+TOP_K = "top-k"
+FLOWS = "flows"
+
+
+@dataclass
+class SubscriptionStats:
+    """Maintenance accounting of one standing query."""
+
+    refreshes: int = 0
+    skipped: int = 0
+    objects_recomputed: int = 0
+    objects_rekeyed: int = 0
+    last_churn: int = 0
+    churn_total: int = 0
+    elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "refreshes": self.refreshes,
+            "skipped": self.skipped,
+            "objects_recomputed": self.objects_recomputed,
+            "objects_rekeyed": self.objects_rekeyed,
+            "last_churn": self.last_churn,
+            "churn_total": self.churn_total,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+
+
+class Subscription:
+    """A standing query registered with a :class:`ContinuousQueryEngine`.
+
+    Holds the latest maintained result; reading :attr:`result` (or
+    :meth:`top_k_ids` / :meth:`flow_of`) after retention evicted part of the
+    registered window raises :class:`~repro.storage.base.EvictedRangeError`.
+    """
+
+    def __init__(
+        self,
+        sub_id: int,
+        kind: str,
+        window: Tuple[float, float],
+        sloc_ids: Tuple[int, ...],
+        query: Optional[TkPLQuery] = None,
+    ):
+        self.sub_id = sub_id
+        self.kind = kind
+        self.window = window
+        self.sloc_ids = sloc_ids
+        self.query = query
+        self.query_key: FrozenSet[int] = frozenset(sloc_ids)
+        self.stats = SubscriptionStats()
+        self._result: Optional[object] = None
+        self._error: Optional[EvictedRangeError] = None
+        # Delta-maintenance state: the version token of the last refresh and
+        # the object population it saw (the re-key candidates of the next).
+        self._data_key: Optional[Tuple] = None
+        self._object_ids: FrozenSet[int] = frozenset()
+
+    # ------------------------------------------------------------------
+    # Result access
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether the subscription still has valid (non-evicted) history."""
+        return self._error is None
+
+    @property
+    def result(self):
+        """The maintained result: a :class:`~repro.core.query.TkPLQResult`
+        for top-k subscriptions, a ``{sloc_id: flow}`` dict for flow ones."""
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def top_k_ids(self) -> List[int]:
+        """The current ranking (top-k subscriptions only)."""
+        if self.kind != TOP_K:
+            raise ValueError("top_k_ids() is only available on top-k subscriptions")
+        return self.result.top_k_ids()
+
+    def flow_of(self, sloc_id: int) -> Optional[float]:
+        """The current flow of one registered S-location."""
+        result = self.result
+        flows = result.flows if isinstance(result, TkPLQResult) else result
+        return flows.get(sloc_id)
+
+    def describe(self) -> Dict[str, object]:
+        """Subscription summary for logs and dashboards."""
+        return {
+            "id": self.sub_id,
+            "kind": self.kind,
+            "window": self.window,
+            "slocations": len(self.sloc_ids),
+            "active": self.active,
+            **self.stats.as_dict(),
+        }
+
+
+class ContinuousQueryEngine:
+    """Incrementally maintain standing queries over one streaming table.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.engine.runtime.QueryEngine` whose pipeline, cache
+        and indoor model answer the standing queries.
+    iupt:
+        The streaming table to subscribe to.  Every
+        :meth:`~repro.data.iupt.IUPT.ingest_batch` /
+        :meth:`~repro.data.iupt.IUPT.evict_before` triggers maintenance.
+    refresh:
+        ``"incremental"`` or ``"recompute"``; defaults to the engine
+        config's ``continuous_refresh``.
+    """
+
+    def __init__(
+        self,
+        engine: "QueryEngine",
+        iupt: IUPT,
+        refresh: Optional[str] = None,
+    ):
+        refresh = refresh if refresh is not None else engine.config.continuous_refresh
+        if refresh not in CONTINUOUS_REFRESH_KINDS:
+            raise ValueError(
+                f"unknown continuous refresh {refresh!r}; "
+                f"expected one of {CONTINUOUS_REFRESH_KINDS}"
+            )
+        self._engine = engine
+        self._iupt = iupt
+        self._refresh_kind = refresh
+        self._subscriptions: Dict[int, Subscription] = {}
+        self._next_id = 1
+        self._token: Optional[int] = iupt.subscribe(self._on_event)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def refresh_kind(self) -> str:
+        return self._refresh_kind
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        return list(self._subscriptions.values())
+
+    def close(self) -> None:
+        """Detach from the table; registered results stop refreshing."""
+        if self._token is not None:
+            self._iupt.unsubscribe(self._token)
+            self._token = None
+
+    def __enter__(self) -> "ContinuousQueryEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, query: TkPLQuery) -> Subscription:
+        """Register a standing top-k query; computes its first result now.
+
+        Raises :class:`~repro.storage.base.EvictedRangeError` immediately if
+        the window already reaches below the table's retention watermark.
+        """
+        subscription = Subscription(
+            self._next_id,
+            TOP_K,
+            query.interval,
+            tuple(query.query_slocations),
+            query=query,
+        )
+        return self._admit(subscription)
+
+    def register_top_k(
+        self, query_slocations: Sequence[int], k: int, start: float, end: float
+    ) -> Subscription:
+        """Convenience wrapper building the standing query in place."""
+        return self.register(TkPLQuery.build(query_slocations, k, start, end))
+
+    def register_flows(
+        self, sloc_ids: Sequence[int], start: float, end: float
+    ) -> Subscription:
+        """Register a standing per-location flow set over ``[start, end]``."""
+        ordered = tuple(dict.fromkeys(sloc_ids))
+        if not ordered:
+            raise ValueError("a flow subscription needs at least one S-location")
+        subscription = Subscription(
+            self._next_id, FLOWS, (float(start), float(end)), ordered
+        )
+        return self._admit(subscription)
+
+    def _admit(self, subscription: Subscription) -> Subscription:
+        self._next_id += 1
+        self._compute(subscription)  # raises EvictedRangeError on dead windows
+        self._subscriptions[subscription.sub_id] = subscription
+        return subscription
+
+    def unregister(self, subscription: Subscription) -> bool:
+        """Drop a subscription; returns whether it was registered."""
+        return self._subscriptions.pop(subscription.sub_id, None) is not None
+
+    # ------------------------------------------------------------------
+    # Storage events
+    # ------------------------------------------------------------------
+    def _on_event(self, event: object) -> None:
+        if isinstance(event, IngestEvent):
+            for subscription in self._subscriptions.values():
+                self._refresh_after_ingest(subscription, event.receipt)
+        elif isinstance(event, EvictionEvent):
+            for subscription in self._subscriptions.values():
+                self._apply_eviction(subscription, event.watermark)
+
+    def _refresh_after_ingest(
+        self, subscription: Subscription, receipt: IngestReceipt
+    ) -> None:
+        if not subscription.active:
+            return
+        if self._refresh_kind == "incremental":
+            new_key = self._iupt.data_key_for(*subscription.window)
+            if new_key == subscription._data_key:
+                # The window's visible records are untouched by this batch —
+                # the standing result is still exact; do nothing at all.
+                subscription.stats.skipped += 1
+                return
+            self._rekey_untouched(subscription, receipt, new_key)
+            self._compute(subscription, pinned_key=new_key)
+        else:
+            self._compute(subscription)
+
+    def _apply_eviction(self, subscription: Subscription, watermark: float) -> None:
+        start, end = subscription.window
+        if subscription.active and start < watermark:
+            subscription._error = EvictedRangeError(start, end, watermark)
+
+    # ------------------------------------------------------------------
+    # Delta maintenance
+    # ------------------------------------------------------------------
+    def _rekey_untouched(
+        self, subscription: Subscription, receipt: IngestReceipt, new_key: Tuple
+    ) -> None:
+        """Carry untouched objects' artefacts over to the new version token.
+
+        An object is *touched* when the batch carried records whose time span
+        overlaps the subscription window — only then can its visible sequence
+        (and therefore its presence artefact) have changed.  Every other
+        object known to the window keeps its artefact, re-keyed so the
+        scoring pass finds it under the refreshed token.
+        """
+        store = self._engine.store
+        if store is None or subscription._data_key is None:
+            return
+        touched = receipt.objects_overlapping(*subscription.window)
+        moved = 0
+        for object_id in sorted(subscription._object_ids - touched):
+            if store.rekey(
+                object_id,
+                subscription.window,
+                subscription.query_key,
+                subscription._data_key,
+                new_key,
+            ):
+                moved += 1
+        subscription.stats.objects_rekeyed += moved
+
+    def _compute(
+        self, subscription: Subscription, pinned_key: Optional[Tuple] = None
+    ) -> None:
+        """(Re)compute one standing result through the engine pipeline.
+
+        Touched objects miss the presence store and are recomputed; re-keyed
+        (or naturally still-valid) artefacts are served from it.  Flows are
+        re-accumulated over every per-object artefact in fetch order, so the
+        result is bit-identical to a fresh engine's full recompute.
+        """
+        began = time.perf_counter()
+        pipeline = self._engine.pipeline
+        ctx = pipeline.context(subscription.window, subscription.query_key)
+        ctx.pinned_data_key = pinned_key
+        sequences = pipeline.fetch.run(ctx, self._iupt)
+        entries = pipeline.presences(ctx, sequences)
+
+        graph = pipeline.flow_computer.graph
+        parent_cells = {
+            sloc_id: graph.parent_cell(sloc_id) for sloc_id in subscription.sloc_ids
+        }
+        if subscription.kind == TOP_K:
+            result: object = score_query_over_entries(
+                subscription.query,
+                entries,
+                parent_cells,
+                len(sequences),
+                algorithm=CONTINUOUS_ALGORITHM,
+            )
+        else:
+            result = accumulate_flows_over_entries(
+                entries, subscription.sloc_ids, parent_cells, ctx.stats
+            )
+
+        churn = self._churn(subscription._result, result, subscription.kind)
+        subscription._result = result
+        subscription._data_key = ctx.data_key
+        subscription._object_ids = frozenset(sequences)
+        subscription.stats.refreshes += 1
+        subscription.stats.objects_recomputed += ctx.stats.objects_computed
+        subscription.stats.last_churn = churn
+        subscription.stats.churn_total += churn
+        subscription.stats.elapsed_seconds += time.perf_counter() - began
+
+    @staticmethod
+    def _churn(previous: Optional[object], current: object, kind: str) -> int:
+        """How much the maintained result moved in one refresh.
+
+        Top-k: ranking positions whose S-location changed.  Flows: locations
+        whose flow value changed.  The first computation counts as zero churn.
+        """
+        if previous is None:
+            return 0
+        if kind == TOP_K:
+            old_ids = previous.top_k_ids()
+            new_ids = current.top_k_ids()
+            length = max(len(old_ids), len(new_ids))
+            old_ids = old_ids + [None] * (length - len(old_ids))
+            new_ids = new_ids + [None] * (length - len(new_ids))
+            return sum(1 for old, new in zip(old_ids, new_ids) if old != new)
+        return sum(
+            1 for sloc_id, flow in current.items() if previous.get(sloc_id) != flow
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Engine-level maintenance summary (experiments and dashboards)."""
+        totals = SubscriptionStats()
+        for subscription in self._subscriptions.values():
+            stats = subscription.stats
+            totals.refreshes += stats.refreshes
+            totals.skipped += stats.skipped
+            totals.objects_recomputed += stats.objects_recomputed
+            totals.objects_rekeyed += stats.objects_rekeyed
+            totals.churn_total += stats.churn_total
+            totals.elapsed_seconds += stats.elapsed_seconds
+        return {
+            "refresh": self._refresh_kind,
+            "subscriptions": len(self._subscriptions),
+            "active": sum(1 for s in self._subscriptions.values() if s.active),
+            **{
+                key: value
+                for key, value in totals.as_dict().items()
+                if key != "last_churn"
+            },
+        }

@@ -34,6 +34,7 @@ from ..space.matrix import IndoorLocationMatrix
 from .batch import BatchPlanner, BatchReport
 from .cache import PresenceStore
 from .config import EngineConfig
+from .continuous import ContinuousQueryEngine
 from .stages import QueryPipeline
 
 ALGORITHMS = ("naive", "nested-loop", "best-first")
@@ -133,6 +134,21 @@ class QueryEngine:
         """Convenience wrapper building the query in place."""
         query = TkPLQuery.build(query_slocations, k, start, end)
         return self.search(iupt, query, algorithm)
+
+    # ------------------------------------------------------------------
+    # Continuous queries
+    # ------------------------------------------------------------------
+    def continuous(
+        self, iupt: IUPT, refresh: Optional[str] = None
+    ) -> ContinuousQueryEngine:
+        """Attach a continuous-query engine to ``iupt``.
+
+        Standing queries registered with the returned
+        :class:`~repro.engine.continuous.ContinuousQueryEngine` are refreshed
+        after every ``ingest_batch`` / ``evict_before`` on the table —
+        incrementally by default (see ``EngineConfig.continuous_refresh``).
+        """
+        return ContinuousQueryEngine(self, iupt, refresh=refresh)
 
     # ------------------------------------------------------------------
     # Batched evaluation

@@ -65,7 +65,9 @@ class FetchStage:
         self._shard_scoped_keys = shard_scoped_keys
 
     def run(self, ctx: ExecutionContext, iupt: IUPT) -> Dict[int, List[SampleSet]]:
-        if self._shard_scoped_keys:
+        if ctx.pinned_data_key is not None:
+            ctx.data_key = ctx.pinned_data_key
+        elif self._shard_scoped_keys:
             ctx.data_key = iupt.data_key_for(ctx.start, ctx.end)
         else:
             ctx.data_key = iupt.data_key
@@ -138,6 +140,32 @@ class _PresenceTask:
             )
             delta.note_object_computed(object_id)
         return entry, delta
+
+
+def accumulate_flows_over_entries(
+    entries: Sequence[Tuple[int, StoredPresence]],
+    sloc_ids: Sequence[int],
+    parent_cells: Dict[int, Optional[int]],
+    stats: SearchStats,
+) -> Dict[int, float]:
+    """Sum per-location flows over per-object artefacts, in entry order.
+
+    The accumulation kernel of :meth:`QueryPipeline.flows_for_all`, shared
+    with the continuous-query subsystem: the bit-for-bit equivalence of a
+    standing flow result and a fresh ``flows_for_all`` hangs on both summing
+    the same per-object presence values in the same (fetch) order.
+    """
+    flows: Dict[int, float] = {sloc_id: 0.0 for sloc_id in sloc_ids}
+    for _object_id, entry in entries:
+        if entry.pruned:
+            continue
+        for sloc_id in sloc_ids:
+            if sloc_id in entry.psls:
+                stats.flow_evaluations += 1
+                flows[sloc_id] += entry.computation.presence_in_cell(
+                    parent_cells[sloc_id]
+                )
+    return flows
 
 
 def _needs_work(entry: Optional[StoredPresence], build_paths: bool) -> bool:
@@ -408,16 +436,9 @@ class QueryPipeline:
         parent_cells = {sloc_id: graph.parent_cell(sloc_id) for sloc_id in ordered}
         sequences = self.fetch.run(ctx, iupt)
 
-        flows: Dict[int, float] = {sloc_id: 0.0 for sloc_id in ordered}
-        for _object_id, entry in self.presences(ctx, sequences):
-            if entry.pruned:
-                continue
-            for sloc_id in ordered:
-                if sloc_id in entry.psls:
-                    ctx.stats.flow_evaluations += 1
-                    flows[sloc_id] += entry.computation.presence_in_cell(
-                        parent_cells[sloc_id]
-                    )
+        flows = accumulate_flows_over_entries(
+            self.presences(ctx, sequences), ordered, parent_cells, ctx.stats
+        )
 
         ctx.stats.elapsed_seconds += time.perf_counter() - began
         return flows

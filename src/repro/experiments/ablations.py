@@ -18,10 +18,11 @@ from typing import Dict, List
 from ..core import DataReducer, DataReductionConfig, TkPLQuery
 from ..core.paths import candidate_path_count
 from ..data import IUPT
+from ..engine import QueryEngine
 from ..eval import run_method
 from ..space import IndoorLocationMatrix
 from .config import get_real_scenario, real_scale
-from .runner import QuerySetting
+from .runner import QuerySetting, split_into_time_batches
 
 
 def ablation_reduction(scale: str = "small") -> List[Dict[str, object]]:
@@ -159,6 +160,70 @@ def ablation_storage(scale: str = "small") -> List[Dict[str, object]]:
                     store.overlapping_shard_keys(start, end)
                 )
             rows.append(row)
+    return rows
+
+
+def ablation_continuous(scale: str = "small") -> List[Dict[str, object]]:
+    """Standing-query maintenance: incremental vs. invalidate-and-recompute.
+
+    Replays the tail of the real scenario's report stream as live batches
+    while standing TkPLQ queries are registered over historical windows and
+    the live edge, once per refresh strategy and store kind.  The maintained
+    results are identical by construction (the differential harness in
+    ``tests/test_continuous.py`` asserts it); the rows quantify how much
+    less work the delta maintenance does — refreshes skipped outright,
+    artefacts re-keyed instead of recomputed, and the refresh time saved.
+    (``benchmarks/test_bench_continuous.py`` runs the larger, asserted
+    version of this comparison.)
+    """
+    scenario = get_real_scenario(scale)
+    records = sorted(scenario.iupt.records, key=lambda r: r.timestamp)
+    duration = scenario.duration_seconds
+    history_end = duration / 2.0
+    shard_seconds = max(duration / 8.0, 1.0)
+    batch_seconds = shard_seconds / 2.0
+
+    history = [r for r in records if r.timestamp < history_end]
+    live = [r for r in records if r.timestamp >= history_end]
+    batches = split_into_time_batches(live, history_end, batch_seconds)
+
+    windows = [
+        (0.0, shard_seconds),
+        (shard_seconds, 2 * shard_seconds),
+        (history_end, duration),
+    ]
+    slocs = scenario.slocation_ids()
+
+    rows: List[Dict[str, object]] = []
+    for store_kind in ("flat", "sharded"):
+        for refresh in ("incremental", "recompute"):
+            table = (
+                IUPT.sharded(shard_seconds=shard_seconds)
+                if store_kind == "sharded"
+                else IUPT()
+            )
+            table.ingest_batch(history)
+            engine = QueryEngine(scenario.system.graph, scenario.system.matrix)
+            continuous = engine.continuous(table, refresh=refresh)
+            for start, end in windows:
+                continuous.register_top_k(slocs, k=3, start=start, end=end)
+            for batch in batches:
+                table.ingest_batch(batch)
+            summary = continuous.describe()
+            continuous.close()
+            rows.append(
+                {
+                    "store": store_kind,
+                    "refresh": refresh,
+                    "standing_queries": len(windows),
+                    "batches_streamed": len(batches),
+                    "refreshes": summary["refreshes"],
+                    "skipped": summary["skipped"],
+                    "objects_recomputed": summary["objects_recomputed"],
+                    "objects_rekeyed": summary["objects_rekeyed"],
+                    "refresh_time_s": summary["elapsed_seconds"],
+                }
+            )
     return rows
 
 

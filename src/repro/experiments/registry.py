@@ -34,6 +34,7 @@ EXPERIMENTS: Dict[str, ExperimentFn] = {
     "ablation_reduction": ablations.ablation_reduction,
     "ablation_indexes": ablations.ablation_indexes,
     "ablation_storage": ablations.ablation_storage,
+    "ablation_continuous": ablations.ablation_continuous,
     "ablation_algorithms": ablations.ablation_algorithms,
 }
 

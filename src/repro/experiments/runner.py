@@ -14,9 +14,37 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core import TkPLQuery
+from ..data.records import PositioningRecord
 from ..eval import MethodOutcome, run_batched, run_method
 from ..eval.ground_truth import ground_truth_ranking
 from ..synth import Scenario
+
+
+def split_into_time_batches(
+    records: Sequence[PositioningRecord], start: float, step: float
+) -> List[List[PositioningRecord]]:
+    """Slice a time-ordered record stream into fixed-duration flush batches.
+
+    Mirrors how a live loader flushes its buffer every ``step`` seconds from
+    ``start``: one (possibly empty) batch per elapsed interval, with the
+    trailing partial batch kept.  Shared by the continuous-query ablation
+    and the streaming benchmarks so all of them replay the same stream
+    shape.
+    """
+    if step <= 0:
+        raise ValueError("step must be positive")
+    batches: List[List[PositioningRecord]] = []
+    current: List[PositioningRecord] = []
+    boundary = start + step
+    for record in records:
+        while record.timestamp >= boundary:
+            batches.append(current)
+            current = []
+            boundary += step
+        current.append(record)
+    if current:
+        batches.append(current)
+    return batches
 
 
 @dataclass

@@ -9,10 +9,14 @@ versioning, and retention eviction.
 
 from .base import (
     EvictedRangeError,
+    EvictionEvent,
+    IngestEvent,
     IngestReceipt,
     RecordStore,
     STORE_KINDS,
+    StoreListener,
     VersionToken,
+    summarise_object_spans,
 )
 from .memory import InMemoryRecordStore
 from .sharded import DEFAULT_SHARD_SECONDS, ShardedRecordStore
@@ -20,12 +24,16 @@ from .sharded import DEFAULT_SHARD_SECONDS, ShardedRecordStore
 __all__ = [
     "DEFAULT_SHARD_SECONDS",
     "EvictedRangeError",
+    "EvictionEvent",
+    "IngestEvent",
     "IngestReceipt",
     "InMemoryRecordStore",
     "RecordStore",
     "STORE_KINDS",
+    "StoreListener",
     "ShardedRecordStore",
     "VersionToken",
+    "summarise_object_spans",
 ]
 
 

@@ -21,14 +21,22 @@ The engine keys its cross-query presence cache on that token, so ingesting a
 batch only invalidates cached artefacts whose query windows overlap the
 touched shards — the flat store degenerates to a whole-table token, which
 reproduces the seed's invalidate-everything behaviour.
+
+Stores are also **observable**: :meth:`RecordStore.subscribe` registers a
+listener that receives an :class:`IngestEvent` after every ingestion and an
+:class:`EvictionEvent` after every retention eviction that dropped records.
+The continuous-query subsystem (:mod:`repro.engine.continuous`) maintains
+standing query results through exactly this hook, using the
+:attr:`IngestReceipt.object_spans` of each event to decide which objects'
+presences a batch actually changed.
 """
 
 from __future__ import annotations
 
 import itertools
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..data.records import PositioningRecord
 
@@ -69,14 +77,76 @@ class IngestReceipt:
     ``shards_touched`` lists the shard keys whose version advanced (the flat
     store reports the pseudo-shard ``"table"``); streaming callers can use it
     to reason about which cached windows the batch invalidated.
+
+    ``object_spans`` summarises *whose* records the batch carried: one
+    ``(object_id, earliest_ts, latest_ts)`` triple per distinct object, in
+    ascending object-id order.  A standing query over ``[start, end]`` only
+    needs to recompute the presence of objects whose span overlaps the
+    window; every other object's cached artefact is still valid (its visible
+    sequence is unchanged) and can be re-keyed to the new version token.
     """
 
     records_ingested: int = 0
     shards_touched: Tuple = ()
+    object_spans: Tuple[Tuple[int, float, float], ...] = ()
 
     @property
     def shards_touched_count(self) -> int:
         return len(self.shards_touched)
+
+    def objects_overlapping(self, start: float, end: float) -> frozenset:
+        """The ingested object ids whose new records may fall in ``[start, end]``.
+
+        The test is conservative (span overlap, not per-record membership):
+        an object reporting both before and after the window is counted even
+        if no individual record landed inside, which can only cause an
+        unnecessary — never a missing — recomputation downstream.
+        """
+        return frozenset(
+            object_id
+            for object_id, earliest, latest in self.object_spans
+            if earliest <= end and latest >= start
+        )
+
+
+def summarise_object_spans(
+    records: Sequence[PositioningRecord],
+) -> Tuple[Tuple[int, float, float], ...]:
+    """Per-object ``(id, earliest_ts, latest_ts)`` triples of one batch."""
+    spans: Dict[int, Tuple[float, float]] = {}
+    for record in records:
+        span = spans.get(record.object_id)
+        if span is None:
+            spans[record.object_id] = (record.timestamp, record.timestamp)
+        else:
+            spans[record.object_id] = (
+                min(span[0], record.timestamp),
+                max(span[1], record.timestamp),
+            )
+    return tuple(
+        (object_id, spans[object_id][0], spans[object_id][1])
+        for object_id in sorted(spans)
+    )
+
+
+@dataclass(frozen=True)
+class IngestEvent:
+    """Delivered to store listeners after one ingestion completed."""
+
+    receipt: IngestReceipt
+
+
+@dataclass(frozen=True)
+class EvictionEvent:
+    """Delivered to store listeners after retention dropped records."""
+
+    watermark: float
+    records_dropped: int
+
+
+#: A store listener: called synchronously with each event, after the store
+#: mutation has fully completed (the store is consistent and queryable).
+StoreListener = Callable[[object], None]
 
 
 class RecordStore(ABC):
@@ -89,6 +159,36 @@ class RecordStore(ABC):
 
     #: Short backend identifier (``"flat"`` / ``"sharded"``).
     kind: str = "abstract"
+
+    def __init__(self) -> None:
+        self._listeners: Dict[int, StoreListener] = {}
+        self._listener_tokens = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: StoreListener) -> int:
+        """Register a listener for :class:`IngestEvent` / :class:`EvictionEvent`.
+
+        Listeners are invoked synchronously, in registration order, after the
+        mutation has fully completed — the store is consistent and queryable
+        from inside a listener.  Returns a token for :meth:`unsubscribe`.
+        """
+        token = next(self._listener_tokens)
+        self._listeners[token] = listener
+        return token
+
+    def unsubscribe(self, token: int) -> bool:
+        """Remove a listener by its token; returns whether it was registered."""
+        return self._listeners.pop(token, None) is not None
+
+    @property
+    def listener_count(self) -> int:
+        return len(self._listeners)
+
+    def _notify(self, event: object) -> None:
+        for listener in list(self._listeners.values()):
+            listener(event)
 
     # ------------------------------------------------------------------
     # Ingestion

@@ -16,7 +16,14 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..data.records import PositioningRecord
 from ..indexes import BPlusTree, OneDimensionalRTree
-from .base import IngestReceipt, RecordStore, STORE_UIDS, VersionToken
+from .base import (
+    IngestEvent,
+    IngestReceipt,
+    RecordStore,
+    STORE_UIDS,
+    VersionToken,
+    summarise_object_spans,
+)
 
 #: The pseudo-shard identifier the flat store reports in receipts/tokens.
 WHOLE_TABLE = "table"
@@ -38,6 +45,7 @@ class InMemoryRecordStore(RecordStore):
     VALID_INDEXES = ("1dr-tree", "bplus-tree")
 
     def __init__(self, index_kind: str = "1dr-tree"):
+        super().__init__()
         if index_kind not in self.VALID_INDEXES:
             raise ValueError(
                 f"unknown index kind {index_kind!r}; expected one of {self.VALID_INDEXES}"
@@ -62,20 +70,22 @@ class InMemoryRecordStore(RecordStore):
         self._bptree.insert(record.timestamp, record)
 
     def append(self, record: PositioningRecord) -> None:
-        self._insert(record)
-        self._version += 1
+        self.ingest_batch((record,))
 
     def ingest_batch(self, records: Iterable[PositioningRecord]) -> IngestReceipt:
-        count = 0
-        for record in records:
+        batch = list(records)
+        for record in batch:
             self._insert(record)
-            count += 1
-        if count:
+        if batch:
             self._version += 1
-        return IngestReceipt(
-            records_ingested=count,
-            shards_touched=(WHOLE_TABLE,) if count else (),
+        receipt = IngestReceipt(
+            records_ingested=len(batch),
+            shards_touched=(WHOLE_TABLE,) if batch else (),
+            object_spans=summarise_object_spans(batch),
         )
+        if batch:
+            self._notify(IngestEvent(receipt))
+        return receipt
 
     # ------------------------------------------------------------------
     # Queries

@@ -35,11 +35,14 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..data.records import PositioningRecord
 from ..indexes import BPlusTree, OneDimensionalRTree
 from .base import (
+    EvictionEvent,
+    IngestEvent,
     IngestReceipt,
     RecordStore,
     STORE_UIDS,
     VersionToken,
     check_not_evicted,
+    summarise_object_spans,
 )
 
 DEFAULT_SHARD_SECONDS = 600.0
@@ -100,6 +103,7 @@ class ShardedRecordStore(RecordStore):
         shard_seconds: float = DEFAULT_SHARD_SECONDS,
         index_kind: str = "1dr-tree",
     ):
+        super().__init__()
         if shard_seconds <= 0:
             raise ValueError("shard_seconds must be positive")
         if index_kind not in self.VALID_INDEXES:
@@ -165,9 +169,13 @@ class ShardedRecordStore(RecordStore):
             self._count += stop - start
             start = stop
 
-        return IngestReceipt(
-            records_ingested=len(batch), shards_touched=tuple(touched)
+        receipt = IngestReceipt(
+            records_ingested=len(batch),
+            shards_touched=tuple(touched),
+            object_spans=summarise_object_spans(batch),
         )
+        self._notify(IngestEvent(receipt))
+        return receipt
 
     # ------------------------------------------------------------------
     # Shard selection
@@ -241,6 +249,8 @@ class ShardedRecordStore(RecordStore):
                 kept_keys.append(key)
         self._shard_keys = kept_keys
         self._count -= dropped
+        if dropped:
+            self._notify(EvictionEvent(self._watermark, dropped))
         return dropped
 
     @property

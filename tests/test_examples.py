@@ -54,6 +54,16 @@ def test_streaming_ingest_runs_and_demonstrates_invalidation(capsys):
     assert "query into evicted history refused" in output
 
 
+def test_live_dashboard_runs_and_maintains_standing_queries(capsys):
+    output = _run_example("live_dashboard.py", capsys)
+    assert "registered 2 standing top-3 queries" in output
+    assert "churn" in output
+    assert "historical refreshes skipped" in output
+    assert "re-keyed" in output
+    assert "historical standing query now refuses" in output
+    assert "live standing query still serving" in output
+
+
 def test_examples_directory_contains_at_least_three_scripts():
     scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
     assert len(scripts) >= 3

@@ -163,6 +163,31 @@ class TestPresenceProperties:
 # ----------------------------------------------------------------------
 # Metric invariants
 # ----------------------------------------------------------------------
+class TestContinuousProperties:
+    """Standing-query maintenance ≡ full recompute, under hypothesis seeds.
+
+    Drives the differential harness of ``tests/test_continuous.py`` with
+    hypothesis-chosen stream seeds: every interleaving of ``ingest_batch`` /
+    ``evict_before`` / result reads must leave every standing TkPLQ / flow
+    result bit-identical to a fresh engine's recompute (or both sides must
+    raise ``EvictedRangeError``), on both store kinds.
+    """
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_incremental_matches_full_recompute_flat(self, seed):
+        from tests.test_continuous import run_differential_interleaving
+
+        run_differential_interleaving(seed, "flat")
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_incremental_matches_full_recompute_sharded(self, seed):
+        from tests.test_continuous import run_differential_interleaving
+
+        run_differential_interleaving(seed, "sharded")
+
+
 class TestMetricProperties:
     @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=8, unique=True))
     def test_kendall_identity_and_reverse(self, ranking):
