@@ -73,6 +73,13 @@ from .space import (
     PartitionKind,
     PLocationKind,
 )
+from .service import (
+    AdmissionConfig,
+    QueryService,
+    RemoteSubscription,
+    ServiceClient,
+    ServiceError,
+)
 from .storage import (
     EvictedRangeError,
     IngestReceipt,
@@ -95,10 +102,16 @@ from .synth import (
 # (IUPT.subscribe); ContinuousQueryEngine maintains standing TkPLQ / flow
 # results incrementally after every batch, re-keying untouched objects'
 # cached presences instead of recomputing them.
-__version__ = "3.1.0"
+# 3.2.0: the query service layer. repro.service puts the engine behind an
+# asyncio NDJSON wire protocol (QueryService / ServiceClient) with admission
+# control, per-op latency metrics, and live push of standing-subscription
+# refreshes (Subscription.on_update); stores gained a shared re-entrant
+# mutation/read lock so concurrent service workers are safe.
+__version__ = "3.2.0"
 
 __all__ = [
     "ALGORITHMS",
+    "AdmissionConfig",
     "BatchPlanner",
     "BatchReport",
     "BestFirstTkPLQ",
@@ -130,12 +143,16 @@ __all__ = [
     "PresenceStore",
     "QueryEngine",
     "QueryPipeline",
+    "QueryService",
     "RankedLocation",
     "RecordStore",
     "Rect",
+    "RemoteSubscription",
     "Sample",
     "SampleSet",
     "Scenario",
+    "ServiceClient",
+    "ServiceError",
     "ShardedRecordStore",
     "SearchStats",
     "SemiConstrainedCounting",

@@ -48,7 +48,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from ..core.query import TkPLQResult, TkPLQuery
 from ..data.iupt import IUPT
@@ -64,6 +73,20 @@ CONTINUOUS_ALGORITHM = "continuous"
 
 TOP_K = "top-k"
 FLOWS = "flows"
+
+#: Fired after each *applied* refresh with ``(subscription, new_result)``.
+#: Skipped refreshes (unchanged window token) do not fire.  The callback runs
+#: on the ingesting thread, under the maintenance lock, after the
+#: subscription's state is fully updated — ``subscription.result`` inside the
+#: callback already returns ``new_result`` — so it must be fast and must not
+#: mutate the table.  The query service bridges these calls onto its event
+#: loop to push update frames to subscribed connections.
+UpdateCallback = Callable[["Subscription", object], None]
+
+#: Fired once when retention eviction invalidates the subscription's window,
+#: with ``(subscription, error)``; after it returns, reading the result
+#: raises that :class:`~repro.storage.base.EvictedRangeError`.
+EvictedCallback = Callable[["Subscription", EvictedRangeError], None]
 
 
 @dataclass
@@ -105,12 +128,19 @@ class Subscription:
         window: Tuple[float, float],
         sloc_ids: Tuple[int, ...],
         query: Optional[TkPLQuery] = None,
+        on_update: Optional[UpdateCallback] = None,
+        on_evicted: Optional[EvictedCallback] = None,
     ):
         self.sub_id = sub_id
         self.kind = kind
         self.window = window
         self.sloc_ids = sloc_ids
         self.query = query
+        #: Push hooks (see :data:`UpdateCallback` / :data:`EvictedCallback`);
+        #: assignable after registration too — the maintenance engine reads
+        #: them at fire time.
+        self.on_update = on_update
+        self.on_evicted = on_evicted
         self.query_key: FrozenSet[int] = frozenset(sloc_ids)
         self.stats = SubscriptionStats()
         self._result: Optional[object] = None
@@ -194,6 +224,14 @@ class ContinuousQueryEngine:
         self._refresh_kind = refresh
         self._subscriptions: Dict[int, Subscription] = {}
         self._next_id = 1
+        # Subscription state is synchronised on the *store's* re-entrant
+        # lock rather than a private one: events arrive with that lock
+        # already held (listeners fire inside the mutation), and
+        # registration reads the store while holding it here — a second
+        # lock would order the two paths oppositely and deadlock.  Sharing
+        # the lock serialises concurrent ``ingest_batch`` threads' refreshes
+        # against each other and against registration.
+        self._lock = iupt.store.lock
         self._token: Optional[int] = iupt.subscribe(self._on_event)
 
     # ------------------------------------------------------------------
@@ -205,7 +243,8 @@ class ContinuousQueryEngine:
 
     @property
     def subscriptions(self) -> List[Subscription]:
-        return list(self._subscriptions.values())
+        with self._lock:
+            return list(self._subscriptions.values())
 
     def close(self) -> None:
         """Detach from the table; registered results stop refreshing."""
@@ -222,11 +261,19 @@ class ContinuousQueryEngine:
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
-    def register(self, query: TkPLQuery) -> Subscription:
+    def register(
+        self,
+        query: TkPLQuery,
+        on_update: Optional[UpdateCallback] = None,
+        on_evicted: Optional[EvictedCallback] = None,
+    ) -> Subscription:
         """Register a standing top-k query; computes its first result now.
 
-        Raises :class:`~repro.storage.base.EvictedRangeError` immediately if
-        the window already reaches below the table's retention watermark.
+        ``on_update`` / ``on_evicted`` are attached before the subscription
+        can receive any event, so a push consumer observes every applied
+        refresh from the very first batch.  Raises
+        :class:`~repro.storage.base.EvictedRangeError` immediately if the
+        window already reaches below the table's retention watermark.
         """
         subscription = Subscription(
             self._next_id,
@@ -234,47 +281,75 @@ class ContinuousQueryEngine:
             query.interval,
             tuple(query.query_slocations),
             query=query,
+            on_update=on_update,
+            on_evicted=on_evicted,
         )
         return self._admit(subscription)
 
     def register_top_k(
-        self, query_slocations: Sequence[int], k: int, start: float, end: float
+        self,
+        query_slocations: Sequence[int],
+        k: int,
+        start: float,
+        end: float,
+        on_update: Optional[UpdateCallback] = None,
+        on_evicted: Optional[EvictedCallback] = None,
     ) -> Subscription:
         """Convenience wrapper building the standing query in place."""
-        return self.register(TkPLQuery.build(query_slocations, k, start, end))
+        return self.register(
+            TkPLQuery.build(query_slocations, k, start, end),
+            on_update=on_update,
+            on_evicted=on_evicted,
+        )
 
     def register_flows(
-        self, sloc_ids: Sequence[int], start: float, end: float
+        self,
+        sloc_ids: Sequence[int],
+        start: float,
+        end: float,
+        on_update: Optional[UpdateCallback] = None,
+        on_evicted: Optional[EvictedCallback] = None,
     ) -> Subscription:
         """Register a standing per-location flow set over ``[start, end]``."""
         ordered = tuple(dict.fromkeys(sloc_ids))
         if not ordered:
             raise ValueError("a flow subscription needs at least one S-location")
         subscription = Subscription(
-            self._next_id, FLOWS, (float(start), float(end)), ordered
+            self._next_id,
+            FLOWS,
+            (float(start), float(end)),
+            ordered,
+            on_update=on_update,
+            on_evicted=on_evicted,
         )
         return self._admit(subscription)
 
     def _admit(self, subscription: Subscription) -> Subscription:
-        self._next_id += 1
-        self._compute(subscription)  # raises EvictedRangeError on dead windows
-        self._subscriptions[subscription.sub_id] = subscription
-        return subscription
+        with self._lock:
+            self._next_id += 1
+            self._compute(subscription)  # raises EvictedRangeError on dead windows
+            self._subscriptions[subscription.sub_id] = subscription
+            return subscription
 
     def unregister(self, subscription: Subscription) -> bool:
         """Drop a subscription; returns whether it was registered."""
-        return self._subscriptions.pop(subscription.sub_id, None) is not None
+        with self._lock:
+            return self._subscriptions.pop(subscription.sub_id, None) is not None
 
     # ------------------------------------------------------------------
     # Storage events
     # ------------------------------------------------------------------
     def _on_event(self, event: object) -> None:
-        if isinstance(event, IngestEvent):
-            for subscription in self._subscriptions.values():
-                self._refresh_after_ingest(subscription, event.receipt)
-        elif isinstance(event, EvictionEvent):
-            for subscription in self._subscriptions.values():
-                self._apply_eviction(subscription, event.watermark)
+        # Listeners already run under the store lock; re-acquiring it here
+        # (re-entrant) documents the invariant and keeps this path safe if a
+        # store ever notifies without holding its lock.
+        with self._lock:
+            if isinstance(event, IngestEvent):
+                for subscription in self._subscriptions.values():
+                    self._refresh_after_ingest(subscription, event.receipt)
+            elif isinstance(event, EvictionEvent):
+                for subscription in self._subscriptions.values():
+                    self._apply_eviction(subscription, event.watermark)
 
     def _refresh_after_ingest(
         self, subscription: Subscription, receipt: IngestReceipt
@@ -292,11 +367,15 @@ class ContinuousQueryEngine:
             self._compute(subscription, pinned_key=new_key)
         else:
             self._compute(subscription)
+        if subscription.on_update is not None:
+            subscription.on_update(subscription, subscription._result)
 
     def _apply_eviction(self, subscription: Subscription, watermark: float) -> None:
         start, end = subscription.window
         if subscription.active and start < watermark:
             subscription._error = EvictedRangeError(start, end, watermark)
+            if subscription.on_evicted is not None:
+                subscription.on_evicted(subscription, subscription._error)
 
     # ------------------------------------------------------------------
     # Delta maintenance
@@ -398,7 +477,8 @@ class ContinuousQueryEngine:
     def describe(self) -> Dict[str, object]:
         """Engine-level maintenance summary (experiments and dashboards)."""
         totals = SubscriptionStats()
-        for subscription in self._subscriptions.values():
+        subscriptions = self.subscriptions
+        for subscription in subscriptions:
             stats = subscription.stats
             totals.refreshes += stats.refreshes
             totals.skipped += stats.skipped
@@ -408,8 +488,8 @@ class ContinuousQueryEngine:
             totals.elapsed_seconds += stats.elapsed_seconds
         return {
             "refresh": self._refresh_kind,
-            "subscriptions": len(self._subscriptions),
-            "active": sum(1 for s in self._subscriptions.values() if s.active),
+            "subscriptions": len(subscriptions),
+            "active": sum(1 for s in subscriptions if s.active),
             **{
                 key: value
                 for key, value in totals.as_dict().items()

@@ -1,0 +1,91 @@
+"""The query service layer: the engine behind a wire protocol.
+
+After PRs 1-3 every capability — the staged execution engine, the sharded
+store, continuous queries — was only reachable in-process.  This package is
+the network-facing layer a production deployment needs:
+
+* :mod:`~repro.service.protocol` — the newline-delimited JSON wire protocol
+  (requests, structured errors, subscription push frames, record/query/result
+  serialisation with bit-exact float round-trips);
+* :mod:`~repro.service.server` — :class:`QueryService`, the asyncio server
+  multiplexing many client connections onto one shared
+  :class:`~repro.engine.runtime.QueryEngine`, running CPU-bound work on a
+  worker pool off the event loop and pushing continuous-query refreshes to
+  subscribed connections;
+* :mod:`~repro.service.admission` — :class:`AdmissionController`, bounded
+  in-flight work, per-client token-bucket rate limits, graceful drain;
+* :mod:`~repro.service.metrics` — :class:`ServiceMetrics`, per-op latency
+  histograms and counters behind the ``stats`` operation;
+* :mod:`~repro.service.client` — the sans-I/O :class:`ClientCore` and the
+  asyncio :class:`ServiceClient` / :class:`RemoteSubscription`.
+
+Everything is standard-library only (``asyncio``, ``json``, ``threading``).
+"""
+
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionStats,
+    REASON_CAPACITY,
+    REASON_DRAINING,
+    REASON_RATE,
+)
+from .client import ClientCore, RemoteSubscription, ServiceClient, ServiceError
+from .metrics import LatencyHistogram, ServiceMetrics
+from .protocol import (
+    ERROR_KINDS,
+    FrameSplitter,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    SUBSCRIPTION_KINDS,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    flows_from_wire,
+    flows_to_wire,
+    query_from_wire,
+    receipt_to_wire,
+    record_from_wire,
+    record_to_wire,
+    records_from_wire,
+    records_to_wire,
+    response_frame,
+    result_to_wire,
+)
+from .server import QueryService
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionStats",
+    "ClientCore",
+    "ERROR_KINDS",
+    "FrameSplitter",
+    "LatencyHistogram",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueryService",
+    "REASON_CAPACITY",
+    "REASON_DRAINING",
+    "REASON_RATE",
+    "RemoteSubscription",
+    "SUBSCRIPTION_KINDS",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceMetrics",
+    "decode_frame",
+    "encode_frame",
+    "error_frame",
+    "flows_from_wire",
+    "flows_to_wire",
+    "query_from_wire",
+    "receipt_to_wire",
+    "record_from_wire",
+    "record_to_wire",
+    "records_from_wire",
+    "records_to_wire",
+    "response_frame",
+    "result_to_wire",
+]

@@ -1,0 +1,317 @@
+"""The query service client: a sans-I/O protocol core plus an asyncio wrapper.
+
+:class:`ClientCore` implements the client half of the wire protocol without
+any transport: it builds correlation-id-stamped request frames and classifies
+incoming frames into responses and pushes.  Tests (and alternative
+transports) drive it directly with byte strings; :class:`ServiceClient` wraps
+it around one ``asyncio`` stream connection and adds:
+
+* request/response correlation (one future per in-flight ``id``, so requests
+  can be pipelined),
+* push routing: ``update`` / ``evicted`` frames are delivered to the
+  :class:`RemoteSubscription` they belong to — a subscriber receives
+  refreshes triggered by *other* clients' ingestions without issuing any
+  request,
+* typed errors: a response with ``ok=false`` raises :class:`ServiceError`
+  carrying the structured ``error.kind`` (``evicted_range``, ``overloaded``,
+  ``bad_request``, …).
+
+The convenience methods return the *wire* payloads (plain dicts/lists) —
+deliberately, so callers can assert bit-identical equality against
+:func:`repro.service.protocol.result_to_wire` of an in-process result, which
+is exactly what the service benchmark does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..data.records import PositioningRecord
+from . import protocol
+from .protocol import FrameSplitter, ProtocolError
+
+
+class ServiceError(Exception):
+    """A structured error response from the service."""
+
+    def __init__(self, kind: str, message: str, details: Optional[dict] = None):
+        super().__init__(f"[{kind}] {message}")
+        self.kind = kind
+        self.message = message
+        self.details = details or {}
+
+    @classmethod
+    def from_error_payload(cls, payload: dict) -> "ServiceError":
+        payload = dict(payload)
+        kind = payload.pop("kind", "internal")
+        message = payload.pop("message", "")
+        return cls(kind, message, payload)
+
+
+class ClientCore:
+    """The transport-free client half of the protocol.
+
+    ``build_request`` stamps frames with fresh correlation ids;
+    ``feed_bytes`` turns raw stream chunks into classified events::
+
+        ("response", request_id, frame)   a reply to one of our requests
+        ("push", frame)                   an unsolicited subscription frame
+    """
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._splitter = FrameSplitter()
+        self.pending: Dict[object, dict] = {}
+
+    def build_request(self, op: str, **fields: object) -> Tuple[int, bytes]:
+        """A fresh request frame in wire form; the id is tracked as pending."""
+        request_id = next(self._ids)
+        frame: Dict[str, object] = {"id": request_id, "op": op}
+        frame.update(fields)
+        self.pending[request_id] = frame
+        return request_id, protocol.encode_frame(frame)
+
+    def feed_bytes(self, chunk: bytes) -> List[Tuple]:
+        """Classify every complete frame in ``chunk`` (plus buffered tail)."""
+        events: List[Tuple] = []
+        for line in self._splitter.feed(chunk):
+            if not line.strip():
+                continue
+            events.append(self.feed_frame(protocol.decode_frame(line)))
+        return events
+
+    def feed_frame(self, frame: dict) -> Tuple:
+        """Classify one already-decoded frame."""
+        if protocol.is_push_frame(frame):
+            return ("push", frame)
+        request_id = frame.get("id")
+        self.pending.pop(request_id, None)
+        return ("response", request_id, frame)
+
+    @staticmethod
+    def unwrap(frame: dict):
+        """The result payload of a response frame, or a :class:`ServiceError`."""
+        if frame.get("ok"):
+            return frame.get("result")
+        raise ServiceError.from_error_payload(frame.get("error") or {})
+
+
+class RemoteSubscription:
+    """A standing query held open over the wire.
+
+    ``result`` tracks the latest known wire result (initial snapshot, then
+    every push); ``updates`` buffers the raw push frames in arrival order.
+    After an ``evicted`` push, :attr:`active` flips false and
+    :attr:`eviction` carries the structured error payload.
+    """
+
+    def __init__(self, sub_id: int, kind: str, initial: object):
+        self.sub_id = sub_id
+        self.kind = kind
+        self.result = initial
+        self.updates: "asyncio.Queue[dict]" = asyncio.Queue()
+        self.active = True
+        self.eviction: Optional[dict] = None
+
+    def _apply_push(self, frame: dict) -> None:
+        if frame.get("push") == "update":
+            self.result = frame.get("result")
+        else:
+            self.active = False
+            self.eviction = frame.get("error")
+        self.updates.put_nowait(frame)
+
+    async def next_update(self, timeout: Optional[float] = None) -> dict:
+        """Wait for the next push frame (update or eviction)."""
+        if timeout is None:
+            return await self.updates.get()
+        return await asyncio.wait_for(self.updates.get(), timeout)
+
+
+class ServiceClient:
+    """One asyncio connection to a :class:`~repro.service.server.QueryService`."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._core = ClientCore()
+        self._futures: Dict[object, asyncio.Future] = {}
+        self._subscriptions: Dict[int, RemoteSubscription] = {}
+        #: Pushes may outrun the subscribe response on a busy table; frames
+        #: for a not-yet-materialised subscription buffer here.
+        self._early_pushes: Dict[int, List[dict]] = {}
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_FRAME_BYTES
+        )
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # The read loop
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    event = self._core.feed_frame(protocol.decode_frame(line))
+                except ProtocolError:
+                    continue  # tolerate one garbled frame rather than dying
+                if event[0] == "push":
+                    self._route_push(event[1])
+                else:
+                    _tag, request_id, frame = event
+                    future = self._futures.pop(request_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(frame)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        except ValueError:
+            # A response line exceeded the stream limit: the stream cannot
+            # be resynchronised — fall through and fail the pending futures.
+            pass
+        finally:
+            broken = ConnectionError("connection to the query service closed")
+            for future in self._futures.values():
+                if not future.done():
+                    future.set_exception(broken)
+            self._futures.clear()
+
+    def _route_push(self, frame: dict) -> None:
+        sub_id = frame.get("subscription")
+        subscription = self._subscriptions.get(sub_id)
+        if subscription is None:
+            self._early_pushes.setdefault(sub_id, []).append(frame)
+        else:
+            subscription._apply_push(frame)
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def request(self, op: str, **fields: object):
+        """Issue one request and return its result payload.
+
+        Raises :class:`ServiceError` on a structured error response and
+        :class:`ConnectionError` if the connection dies while waiting.
+        """
+        if self._closed:
+            raise ConnectionError("client is closed")
+        request_id, wire = self._core.build_request(op, **fields)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._futures[request_id] = future
+        self._writer.write(wire)
+        await self._writer.drain()
+        frame = await future
+        return ClientCore.unwrap(frame)
+
+    # ------------------------------------------------------------------
+    # Convenience operations (wire payloads in, wire payloads out)
+    # ------------------------------------------------------------------
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def top_k(
+        self,
+        q: Sequence[int],
+        k: int,
+        start: float,
+        end: float,
+        algorithm: Optional[str] = None,
+    ) -> dict:
+        fields: Dict[str, object] = {"q": list(q), "k": k, "start": start, "end": end}
+        if algorithm is not None:
+            fields["algorithm"] = algorithm
+        return await self.request("top_k", **fields)
+
+    async def flow(self, sloc: int, start: float, end: float) -> dict:
+        return await self.request("flow", sloc=sloc, start=start, end=end)
+
+    async def flows(self, q: Sequence[int], start: float, end: float) -> dict:
+        return await self.request("flows", q=list(q), start=start, end=end)
+
+    async def batch(self, queries: Sequence[dict]) -> dict:
+        """``queries``: dicts with ``q``/``k``/``start``/``end`` fields."""
+        return await self.request("batch", queries=list(queries))
+
+    async def ingest_batch(self, records: Iterable[PositioningRecord]) -> dict:
+        return await self.request(
+            "ingest_batch", records=protocol.records_to_wire(records)
+        )
+
+    async def evict_before(self, timestamp: float) -> dict:
+        return await self.request("evict_before", timestamp=timestamp)
+
+    async def stats(self) -> dict:
+        return await self.request("stats")
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+    async def subscribe_top_k(
+        self, q: Sequence[int], k: int, start: float, end: float
+    ) -> RemoteSubscription:
+        result = await self.request(
+            "subscribe", kind="top_k", q=list(q), k=k, start=start, end=end
+        )
+        return self._materialise_subscription(result)
+
+    async def subscribe_flows(
+        self, q: Sequence[int], start: float, end: float
+    ) -> RemoteSubscription:
+        result = await self.request(
+            "subscribe", kind="flows", q=list(q), start=start, end=end
+        )
+        return self._materialise_subscription(result)
+
+    def _materialise_subscription(self, result: dict) -> RemoteSubscription:
+        subscription = RemoteSubscription(
+            result["subscription"], result["kind"], result["result"]
+        )
+        self._subscriptions[subscription.sub_id] = subscription
+        for frame in self._early_pushes.pop(subscription.sub_id, []):
+            subscription._apply_push(frame)
+        return subscription
+
+    async def unsubscribe(self, subscription: RemoteSubscription) -> bool:
+        result = await self.request("unsubscribe", subscription=subscription.sub_id)
+        # Per-connection frames are ordered: any push for this subscription
+        # was delivered before the unsubscribe response, so dropping the
+        # routing (and any stray early buffer) here cannot lose updates.
+        self._subscriptions.pop(subscription.sub_id, None)
+        self._early_pushes.pop(subscription.sub_id, None)
+        subscription.active = False
+        return bool(result.get("unsubscribed"))

@@ -1,0 +1,335 @@
+"""The query service's wire protocol: newline-delimited JSON frames.
+
+One frame is one JSON object on one line (UTF-8, ``\\n``-terminated).  The
+protocol is deliberately dependency-free and transport-agnostic — every
+function here is pure (bytes/dicts in, bytes/dicts out), so the same code
+serves the asyncio server, the client library, and offline tests.
+
+**Requests** (client → server) carry a client-chosen correlation ``id`` and
+an ``op``::
+
+    {"id": 1, "op": "top_k", "q": [3, 5, 9], "k": 2, "start": 0.0, "end": 60.0}
+    {"id": 2, "op": "ingest_batch", "records": [[7, 12.5, [[14, 0.6], [15, 0.4]]], ...]}
+    {"id": 3, "op": "subscribe", "kind": "top_k", "q": [3, 5], "k": 1,
+     "start": 0.0, "end": 60.0}
+
+**Responses** (server → client) echo the ``id`` and carry either a result or
+a structured error::
+
+    {"id": 1, "ok": true, "result": {"ranking": [[5, 1.25], [3, 0.5]], ...}}
+    {"id": 4, "ok": false, "error": {"kind": "evicted_range", "message": ...,
+     "start": 0.0, "end": 60.0, "watermark": 120.0}}
+
+**Push frames** (server → client, unsolicited) have no ``id``; they carry the
+refreshed result of a standing subscription after another client's ingestion,
+or the eviction notice that invalidated it::
+
+    {"push": "update", "subscription": 2, "seq": 5, "kind": "top_k",
+     "result": {...}}
+    {"push": "evicted", "subscription": 2, "error": {...}}
+
+Numeric fidelity: flows are IEEE-754 doubles and :mod:`json` round-trips them
+exactly (``repr`` ↔ ``float``), so a result serialised here and decoded by
+the client is *bit-identical* to the in-process result — the service
+benchmark asserts exactly that against direct engine calls.  Flow mappings
+are serialised as ``[[sloc_id, flow], ...]`` pair lists (JSON object keys
+are strings; int-keyed dicts would not round-trip).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.query import TkPLQResult, TkPLQuery
+from ..data.records import PositioningRecord, Sample, SampleSet
+from ..storage import EvictedRangeError, IngestReceipt
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's wire size.  Both the server and the client
+#: pass this as their stream reader limit (asyncio's default is 64 KiB,
+#: which a few-thousand-record ``ingest_batch`` frame easily exceeds); a
+#: line beyond it fails the connection with a structured ``bad_frame``
+#: error instead of an unhandled ``ValueError`` in the read loop.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Request operations the server understands.
+OPS = (
+    "ping",
+    "top_k",
+    "flow",
+    "flows",
+    "batch",
+    "ingest_batch",
+    "evict_before",
+    "subscribe",
+    "unsubscribe",
+    "stats",
+)
+
+#: Subscription kinds accepted by ``subscribe``.
+SUBSCRIPTION_KINDS = ("top_k", "flows")
+
+#: Structured error kinds a response can carry.
+ERROR_KINDS = (
+    "bad_frame",      # the line was not a JSON object
+    "bad_request",    # well-formed frame, invalid contents
+    "unknown_op",     # unrecognised "op"
+    "evicted_range",  # the window reaches into retention-evicted history
+    "overloaded",     # shed by admission control (queue full / rate / drain)
+    "internal",       # unexpected server-side failure
+)
+
+
+class ProtocolError(ValueError):
+    """A frame that cannot be decoded or violates the protocol contract."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
+        self.message = message
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+def encode_frame(frame: Mapping[str, object]) -> bytes:
+    """Serialise one frame to its wire form (compact JSON + newline)."""
+    return json.dumps(frame, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes) -> Dict[str, object]:
+    """Parse one wire line into a frame dict.
+
+    Raises :class:`ProtocolError` (kind ``bad_frame``) on anything that is
+    not a single JSON object — the server answers those with a structured
+    error instead of dropping the connection.
+    """
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError("bad_frame", f"undecodable frame: {error}") from error
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            "bad_frame", f"a frame must be a JSON object, got {type(frame).__name__}"
+        )
+    return frame
+
+
+def response_frame(request_id: object, result: object) -> Dict[str, object]:
+    """A successful response echoing the request's correlation id."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_frame(
+    request_id: object, kind: str, message: str, **details: object
+) -> Dict[str, object]:
+    """A failed response with a structured, machine-readable error."""
+    if kind not in ERROR_KINDS:
+        raise ValueError(f"unknown error kind {kind!r}; expected one of {ERROR_KINDS}")
+    error: Dict[str, object] = {"kind": kind, "message": message}
+    error.update(details)
+    return {"id": request_id, "ok": False, "error": error}
+
+
+def evicted_error_frame(
+    request_id: object, error: EvictedRangeError
+) -> Dict[str, object]:
+    """The structured form of :class:`~repro.storage.base.EvictedRangeError`."""
+    return error_frame(
+        request_id,
+        "evicted_range",
+        str(error),
+        start=error.start,
+        end=error.end,
+        watermark=error.watermark,
+    )
+
+
+def push_update_frame(
+    subscription_id: int, seq: int, kind: str, result: object
+) -> Dict[str, object]:
+    """An unsolicited standing-query refresh pushed to a subscribed client."""
+    return {
+        "push": "update",
+        "subscription": subscription_id,
+        "seq": seq,
+        "kind": kind,
+        "result": result,
+    }
+
+
+def push_evicted_frame(
+    subscription_id: int, error: EvictedRangeError
+) -> Dict[str, object]:
+    """An unsolicited notice that eviction invalidated a subscription."""
+    return {
+        "push": "evicted",
+        "subscription": subscription_id,
+        "error": {
+            "kind": "evicted_range",
+            "message": str(error),
+            "start": error.start,
+            "end": error.end,
+            "watermark": error.watermark,
+        },
+    }
+
+
+def is_push_frame(frame: Mapping[str, object]) -> bool:
+    return "push" in frame
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def flows_to_wire(flows: Mapping[int, float]) -> List[List[object]]:
+    """A ``{sloc_id: flow}`` mapping as sorted ``[sloc_id, flow]`` pairs."""
+    return [[sloc_id, flows[sloc_id]] for sloc_id in sorted(flows)]
+
+
+def flows_from_wire(pairs: Iterable[Sequence[object]]) -> Dict[int, float]:
+    """Rebuild the ``{sloc_id: flow}`` mapping from its wire pairs."""
+    return {int(sloc_id): float(flow) for sloc_id, flow in pairs}
+
+
+def result_to_wire(result: TkPLQResult) -> Dict[str, object]:
+    """Serialise a TkPLQ answer: the ranking in rank order plus all flows."""
+    return {
+        "ranking": [[entry.sloc_id, entry.flow] for entry in result.ranking],
+        "flows": flows_to_wire(result.flows),
+        "k": result.query.k,
+        "window": [result.query.start, result.query.end],
+        "algorithm": result.algorithm,
+    }
+
+
+def receipt_to_wire(receipt: IngestReceipt) -> Dict[str, object]:
+    """Serialise an ingestion receipt (shard keys become strings as-is)."""
+    return {
+        "records_ingested": receipt.records_ingested,
+        "shards_touched": list(receipt.shards_touched),
+        "objects": len(receipt.object_spans),
+    }
+
+
+# ----------------------------------------------------------------------
+# Records and queries
+# ----------------------------------------------------------------------
+def record_to_wire(record: PositioningRecord) -> List[object]:
+    """One positioning record as ``[object_id, timestamp, [[ploc, prob], ...]]``."""
+    return [
+        record.object_id,
+        record.timestamp,
+        [[sample.ploc_id, sample.prob] for sample in record.sample_set],
+    ]
+
+
+def records_to_wire(records: Iterable[PositioningRecord]) -> List[List[object]]:
+    return [record_to_wire(record) for record in records]
+
+
+def record_from_wire(payload: object) -> PositioningRecord:
+    """Rebuild one record, mapping malformed payloads to :class:`ProtocolError`."""
+    try:
+        object_id, timestamp, samples = payload  # type: ignore[misc]
+        sample_set = SampleSet(
+            Sample(int(ploc_id), float(prob)) for ploc_id, prob in samples
+        )
+        return PositioningRecord(int(object_id), sample_set, float(timestamp))
+    except ProtocolError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(
+            "bad_request", f"malformed positioning record {payload!r}: {error}"
+        ) from error
+
+
+def records_from_wire(payload: object) -> List[PositioningRecord]:
+    if not isinstance(payload, list):
+        raise ProtocolError(
+            "bad_request", "'records' must be a list of [oid, t, samples] triples"
+        )
+    return [record_from_wire(item) for item in payload]
+
+
+def query_from_wire(frame: Mapping[str, object]) -> TkPLQuery:
+    """Build a :class:`~repro.core.query.TkPLQuery` from request fields.
+
+    Validation errors raised by the query constructor (empty ``q``, ``k`` out
+    of range, inverted window) surface as ``bad_request`` protocol errors
+    with the constructor's message, so clients see *why* the frame was bad.
+    """
+    try:
+        return TkPLQuery.build(
+            [int(sloc) for sloc in frame["q"]],  # type: ignore[union-attr]
+            int(frame["k"]),
+            float(frame["start"]),
+            float(frame["end"]),
+        )
+    except KeyError as error:
+        raise ProtocolError(
+            "bad_request", f"missing query field {error.args[0]!r}"
+        ) from error
+    except (TypeError, ValueError) as error:
+        raise ProtocolError("bad_request", str(error)) from error
+
+
+def window_from_wire(frame: Mapping[str, object]) -> Tuple[float, float]:
+    """Extract and validate the ``start``/``end`` window of a request."""
+    try:
+        start = float(frame["start"])  # type: ignore[arg-type]
+        end = float(frame["end"])  # type: ignore[arg-type]
+    except KeyError as error:
+        raise ProtocolError(
+            "bad_request", f"missing window field {error.args[0]!r}"
+        ) from error
+    except (TypeError, ValueError) as error:
+        raise ProtocolError("bad_request", str(error)) from error
+    if start > end:
+        raise ProtocolError(
+            "bad_request", "the query interval start must not exceed its end"
+        )
+    return start, end
+
+
+def sloc_ids_from_wire(frame: Mapping[str, object]) -> List[int]:
+    """Extract the ``q`` S-location list of a request."""
+    try:
+        sloc_ids = [int(sloc) for sloc in frame["q"]]  # type: ignore[union-attr]
+    except KeyError as error:
+        raise ProtocolError("bad_request", "missing query field 'q'") from error
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(
+            "bad_request", f"'q' must be a list of S-location ids: {error}"
+        ) from error
+    if not sloc_ids:
+        raise ProtocolError("bad_request", "'q' must not be empty")
+    return sloc_ids
+
+
+class FrameSplitter:
+    """Incremental byte-stream → frame-line splitter (sans-I/O helper).
+
+    Feed it arbitrary byte chunks; it yields each complete ``\\n``-terminated
+    line exactly once, buffering partial tails.  The client core and the
+    protocol tests use it to exercise framing without a socket.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, chunk: bytes) -> List[bytes]:
+        self._buffer.extend(chunk)
+        lines: List[bytes] = []
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline < 0:
+                return lines
+            lines.append(bytes(self._buffer[:newline]))
+            del self._buffer[: newline + 1]
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,557 @@
+"""The asyncio query service: one shared engine behind a wire protocol.
+
+:class:`QueryService` owns one :class:`~repro.engine.runtime.QueryEngine` and
+one :class:`~repro.data.iupt.IUPT` and serves them to many concurrent network
+clients over the newline-delimited JSON protocol of
+:mod:`repro.service.protocol`:
+
+* the **event loop** only frames, parses, admits and routes — every
+  CPU-bound engine call (``top_k``, ``flows``, ``batch``, ``ingest_batch``,
+  ``evict_before``, subscription registration) is handed to a worker-thread
+  pool via ``loop.run_in_executor``, so a heavy query never stalls other
+  connections' framing or pushes.  Thread-safety across those workers comes
+  from the layers below: the presence store has its own lock, and every
+  store mutation plus the standing-query refreshes it triggers runs under
+  the store's re-entrant lock (one ingest = one atomic step);
+* **standing subscriptions push**: ``subscribe`` registers a standing query
+  with the shared :class:`~repro.engine.continuous.ContinuousQueryEngine`
+  whose ``on_update`` hook fires on the ingesting worker thread — the
+  service bridges each refresh onto the event loop with
+  ``call_soon_threadsafe`` and enqueues an ``update`` push frame on the
+  subscribing connection, so one client's ``ingest_batch`` becomes push
+  traffic to every other subscribed client with no polling anywhere;
+* **per-connection write queues** serialise responses and pushes onto the
+  socket (concurrent request tasks never interleave partial frames);
+* the :class:`~repro.service.admission.AdmissionController` gates every
+  request (bounded in-flight work, per-client rate limits) and supports
+  **graceful drain**: :meth:`QueryService.stop` refuses new requests,
+  finishes and flushes the admitted ones, then tears connections down;
+* errors are **structured**: malformed frames, invalid requests, windows
+  reaching into evicted history, admission sheds and internal failures each
+  map to a distinct ``error.kind`` the client can dispatch on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Set, Tuple
+
+from ..data.iupt import IUPT
+from ..engine.continuous import Subscription
+from ..engine.runtime import QueryEngine
+from ..storage import EvictedRangeError
+from .admission import AdmissionConfig, AdmissionController
+from .metrics import ServiceMetrics
+from . import protocol
+from .protocol import ProtocolError
+
+class _Connection:
+    """Per-connection state: the write queue and the owned subscriptions."""
+
+    _ids = iter(range(1, 1 << 62))
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.conn_id = next(_Connection._ids)
+        self.outbox: "asyncio.Queue[Optional[dict]]" = asyncio.Queue()
+        self.writer_task: Optional[asyncio.Task] = None
+        #: Wire subscription id -> engine subscription, owned by this client.
+        self.subscriptions: Dict[int, Subscription] = {}
+        #: Per-subscription push sequence numbers.
+        self.push_seq: Dict[int, int] = {}
+        #: Tombstones of unsubscribed ids: a refresh that fired before the
+        #: unregistration took the store lock may still schedule a push;
+        #: delivery drops it here instead of resurrecting state (sub ids are
+        #: never reused, so membership is exact).
+        self.unsubscribed: set = set()
+        self.closing = False
+
+    def send_frame(self, frame: dict) -> None:
+        """Enqueue one frame for the writer task (event-loop thread only)."""
+        if not self.closing:
+            self.outbox.put_nowait(frame)
+
+    async def run_writer(self) -> None:
+        """Drain the outbox onto the socket until the ``None`` sentinel."""
+        while True:
+            frame = await self.outbox.get()
+            if frame is None:
+                break
+            try:
+                self.writer.write(protocol.encode_frame(frame))
+                await self.writer.drain()
+            except (ConnectionError, RuntimeError):
+                break
+
+    async def flush_and_close(self) -> None:
+        """Stop accepting frames, flush queued ones, close the transport."""
+        self.closing = True
+        self.outbox.put_nowait(None)
+        if self.writer_task is not None:
+            await self.writer_task
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class QueryService:
+    """Serve one engine + table to many clients over asyncio streams.
+
+    Parameters
+    ----------
+    engine:
+        The shared query engine; its executor settings still govern
+        per-object fan-out *inside* one query, while ``query_workers``
+        bounds how many whole requests execute concurrently.
+    iupt:
+        The served table.  ``ingest_batch`` / ``evict_before`` requests
+        mutate it; standing subscriptions are maintained against it.
+    host, port:
+        Listen address; ``port=0`` (the default) picks a free port —
+        read the bound address from :attr:`address` after :meth:`start`.
+    admission:
+        Load-shedding knobs; defaults to
+        :class:`~repro.service.admission.AdmissionConfig`'s defaults.
+    query_workers:
+        Worker threads executing CPU-bound request work off the event loop.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        iupt: IUPT,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        admission: Optional[AdmissionConfig] = None,
+        query_workers: int = 4,
+    ):
+        if query_workers < 1:
+            raise ValueError("query_workers must be at least 1")
+        self.engine = engine
+        self.iupt = iupt
+        self.metrics = ServiceMetrics()
+        self.admission = AdmissionController(admission)
+        self._host = host
+        self._port = port
+        self._query_workers = query_workers
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self.continuous = None  # set in start()
+        self._connections: Set[_Connection] = set()
+        self._request_tasks: Set[asyncio.Task] = set()
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind, attach the continuous engine, and begin accepting clients."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._loop = asyncio.get_running_loop()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._query_workers, thread_name_prefix="repro-query"
+        )
+        self.continuous = self.engine.continuous(self.iupt)
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._host,
+            self._port,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("service not started")
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful drain: refuse new work, finish admitted work, tear down.
+
+        Sequence: stop accepting connections → admission begins draining
+        (new requests get structured ``overloaded``/``draining`` errors) →
+        every already-admitted request runs to completion and its response
+        is flushed → connections close → the continuous engine detaches →
+        the worker pool shuts down.
+        """
+        if self._stopped or self._server is None:
+            return
+        self._stopped = True
+        self._server.close()  # stops accepting; existing sockets stay open
+        self.admission.begin_drain()
+        if self._request_tasks:
+            await asyncio.gather(*tuple(self._request_tasks), return_exceptions=True)
+        for connection in tuple(self._connections):
+            await self._close_connection(connection)
+        if self._conn_tasks:
+            await asyncio.gather(*tuple(self._conn_tasks), return_exceptions=True)
+        # Only wait for the listener after every connection is torn down:
+        # since Python 3.12.1 Server.wait_closed() blocks until all active
+        # connections finish, so awaiting it first would deadlock the drain.
+        await self._server.wait_closed()
+        if self.continuous is not None:
+            self.continuous.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    async def __aenter__(self) -> "QueryService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(writer)
+        connection.writer_task = asyncio.ensure_future(connection.run_writer())
+        self._connections.add(connection)
+        self._conn_tasks.add(asyncio.current_task())
+        self.metrics.note_connection_opened()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                except ValueError:
+                    # readline raises ValueError when a line exceeds the
+                    # stream limit; the stream is now mid-frame and cannot
+                    # be resynchronised — answer structurally, then close.
+                    connection.send_frame(
+                        protocol.error_frame(
+                            None,
+                            "bad_frame",
+                            f"frame exceeds the {protocol.MAX_FRAME_BYTES}-byte "
+                            f"limit; split the request into smaller batches",
+                        )
+                    )
+                    break
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                task = asyncio.ensure_future(self._serve_request(connection, line))
+                self._request_tasks.add(task)
+                task.add_done_callback(self._request_tasks.discard)
+        finally:
+            await self._cleanup_connection(connection)
+            self._conn_tasks.discard(asyncio.current_task())
+
+    async def _cleanup_connection(self, connection: _Connection) -> None:
+        """Release everything a departing client held.
+
+        A client that disconnects mid-subscription must not leave standing
+        queries behind: every subscription it registered is unregistered
+        from the continuous engine (stopping its maintenance work), and its
+        rate-limit state is dropped.
+        """
+        if connection not in self._connections:
+            return
+        self._connections.discard(connection)
+        orphaned = list(connection.subscriptions.values())
+        connection.subscriptions.clear()
+        for subscription in orphaned:
+            # Unregistration takes the store lock — off the loop, like every
+            # other lock-taking call.
+            await self._run_blocking(self.continuous.unregister, subscription)
+        self.admission.forget_client(connection.conn_id)
+        await connection.flush_and_close()
+        self.metrics.note_connection_closed()
+
+    async def _close_connection(self, connection: _Connection) -> None:
+        await self._cleanup_connection(connection)
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def _serve_request(self, connection: _Connection, line: bytes) -> None:
+        began = self._loop.time()
+        request_id: object = None
+        op = "?"
+        error_kind: Optional[str] = None
+        try:
+            frame = protocol.decode_frame(line)
+            request_id = frame.get("id")
+            op = frame.get("op", "?")
+            if not isinstance(op, str):
+                # op doubles as a metrics key: keep it a plain string so one
+                # hostile frame cannot poison the sortable by-op counters.
+                op = repr(op)
+            if op not in protocol.OPS:
+                raise ProtocolError(
+                    "unknown_op",
+                    f"unknown op {op!r}; expected one of {protocol.OPS}",
+                )
+            response = await self._dispatch(connection, op, frame, request_id)
+        except ProtocolError as error:
+            error_kind = error.kind
+            response = protocol.error_frame(request_id, error.kind, error.message)
+        except EvictedRangeError as error:
+            error_kind = "evicted_range"
+            response = protocol.evicted_error_frame(request_id, error)
+        except (ValueError, KeyError, TypeError, NotImplementedError) as error:
+            error_kind = "bad_request"
+            response = protocol.error_frame(request_id, "bad_request", str(error))
+        except Exception as error:  # noqa: BLE001 - the wire must answer
+            error_kind = "internal"
+            response = protocol.error_frame(
+                request_id, "internal", f"{type(error).__name__}: {error}"
+            )
+        connection.send_frame(response)
+        self.metrics.observe_request(op, self._loop.time() - began, error_kind)
+
+    async def _dispatch(
+        self, connection: _Connection, op: str, frame: dict, request_id: object
+    ) -> dict:
+        """Admit, execute (off-loop where CPU-bound), and build the response."""
+        # Cheap introspection ops bypass admission: they must stay
+        # answerable while the service sheds query load.
+        if op == "ping":
+            return protocol.response_frame(
+                request_id,
+                {
+                    "pong": True,
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "store": self.iupt.store.kind,
+                    "records": len(self.iupt),
+                },
+            )
+        if op == "stats":
+            # The continuous summary takes the store lock (a worker may hold
+            # it through a long ingest+refresh), so that part runs off the
+            # loop; the metrics/admission counters are loop-owned and are
+            # snapshotted here, on their owning thread.
+            continuous_summary = await self._run_blocking(self.continuous.describe)
+            snapshot = self.metrics.snapshot(
+                cache_stats=self.engine.cache_stats(),
+                continuous_summary=continuous_summary,
+                admission=self.admission.as_dict(),
+            )
+            return protocol.response_frame(request_id, snapshot)
+
+        rejection = self.admission.admit(connection.conn_id)
+        if rejection is not None:
+            reason, message = rejection
+            return protocol.error_frame(
+                request_id, "overloaded", message, reason=reason
+            )
+        try:
+            if op == "unsubscribe":
+                # Connection bookkeeping on the loop (no lock, no race with
+                # _cleanup_connection); the engine unregistration takes the
+                # store lock, so it goes through the pool.
+                subscription = self._forget_subscription(connection, frame)
+                removed = (
+                    await self._run_blocking(
+                        self.continuous.unregister, subscription
+                    )
+                    if subscription is not None
+                    else False
+                )
+                return protocol.response_frame(
+                    request_id, {"unsubscribed": removed}
+                )
+            if op == "subscribe":
+                subscription, result = await self._run_blocking(
+                    self._register_subscription, connection, frame
+                )
+                # Back on the loop: only now may the subscription be tied to
+                # the connection.  If the client vanished while the worker
+                # was registering, unregister instead of leaking a standing
+                # query nobody will ever read.
+                if connection not in self._connections:
+                    await self._run_blocking(
+                        self.continuous.unregister, subscription
+                    )
+                    raise ProtocolError(
+                        "bad_request", "connection closed during subscribe"
+                    )
+                connection.subscriptions[subscription.sub_id] = subscription
+                return protocol.response_frame(request_id, result)
+            handler = {
+                "top_k": self._do_top_k,
+                "flow": self._do_flow,
+                "flows": self._do_flows,
+                "batch": self._do_batch,
+                "ingest_batch": self._do_ingest_batch,
+                "evict_before": self._do_evict_before,
+            }[op]
+            result = await self._run_blocking(handler, frame)
+            return protocol.response_frame(request_id, result)
+        finally:
+            self.admission.release()
+
+    async def _run_blocking(self, fn, *args):
+        """Run one CPU-bound handler on the worker pool, off the event loop."""
+        return await self._loop.run_in_executor(self._pool, lambda: fn(*args))
+
+    # ------------------------------------------------------------------
+    # Handlers (worker-pool threads unless noted)
+    # ------------------------------------------------------------------
+    def _do_top_k(self, frame: dict) -> dict:
+        query = protocol.query_from_wire(frame)
+        algorithm = frame.get("algorithm", "best-first")
+        result = self.engine.search(self.iupt, query, algorithm)
+        return protocol.result_to_wire(result)
+
+    def _do_flow(self, frame: dict) -> dict:
+        start, end = protocol.window_from_wire(frame)
+        try:
+            sloc_id = int(frame["sloc"])
+        except KeyError as error:
+            raise ProtocolError("bad_request", "missing field 'sloc'") from error
+        result = self.engine.flow(self.iupt, sloc_id, start, end)
+        return {"sloc": sloc_id, "flow": result.flow}
+
+    def _do_flows(self, frame: dict) -> dict:
+        start, end = protocol.window_from_wire(frame)
+        sloc_ids = protocol.sloc_ids_from_wire(frame)
+        flows = self.engine.flows(self.iupt, sloc_ids, start, end)
+        return {"flows": protocol.flows_to_wire(flows)}
+
+    def _do_batch(self, frame: dict) -> dict:
+        payload = frame.get("queries")
+        if not isinstance(payload, list) or not payload:
+            raise ProtocolError(
+                "bad_request", "'queries' must be a non-empty list of query objects"
+            )
+        queries = [protocol.query_from_wire(item) for item in payload]
+        results = self.engine.batch_top_k(self.iupt, queries)
+        return {"results": [protocol.result_to_wire(result) for result in results]}
+
+    def _do_ingest_batch(self, frame: dict) -> dict:
+        records = protocol.records_from_wire(frame.get("records"))
+        receipt = self.iupt.ingest_batch(records)
+        return protocol.receipt_to_wire(receipt)
+
+    def _do_evict_before(self, frame: dict) -> dict:
+        try:
+            timestamp = float(frame["timestamp"])
+        except KeyError as error:
+            raise ProtocolError("bad_request", "missing field 'timestamp'") from error
+        except (TypeError, ValueError) as error:
+            raise ProtocolError("bad_request", str(error)) from error
+        dropped = self.iupt.evict_before(timestamp)
+        return {
+            "records_dropped": dropped,
+            "watermark": self.iupt.store.eviction_watermark,
+        }
+
+    def _register_subscription(self, connection: _Connection, frame: dict):
+        """Worker-pool half of ``subscribe``: register + first compute.
+
+        Returns ``(subscription, response_payload)``; the caller ties the
+        subscription to the connection back on the event loop, so this
+        function never mutates connection state.
+        """
+        kind = frame.get("kind", "top_k")
+        if kind not in protocol.SUBSCRIPTION_KINDS:
+            raise ProtocolError(
+                "bad_request",
+                f"unknown subscription kind {kind!r}; "
+                f"expected one of {protocol.SUBSCRIPTION_KINDS}",
+            )
+        on_update = lambda sub, result: self._push_update(  # noqa: E731
+            connection, kind, sub, result
+        )
+        on_evicted = lambda sub, error: self._push_evicted(  # noqa: E731
+            connection, sub, error
+        )
+        if kind == "top_k":
+            query = protocol.query_from_wire(frame)
+            subscription = self.continuous.register(
+                query, on_update=on_update, on_evicted=on_evicted
+            )
+            initial = protocol.result_to_wire(subscription.result)
+        else:
+            start, end = protocol.window_from_wire(frame)
+            sloc_ids = protocol.sloc_ids_from_wire(frame)
+            subscription = self.continuous.register_flows(
+                sloc_ids, start, end, on_update=on_update, on_evicted=on_evicted
+            )
+            initial = {"flows": protocol.flows_to_wire(subscription.result)}
+        return subscription, {
+            "subscription": subscription.sub_id,
+            "kind": kind,
+            "result": initial,
+        }
+
+    @staticmethod
+    def _forget_subscription(connection: _Connection, frame: dict):
+        """Event-loop half of ``unsubscribe``: detach from the connection."""
+        try:
+            sub_id = int(frame["subscription"])
+        except KeyError as error:
+            raise ProtocolError(
+                "bad_request", "missing field 'subscription'"
+            ) from error
+        except (TypeError, ValueError) as error:
+            raise ProtocolError("bad_request", str(error)) from error
+        connection.push_seq.pop(sub_id, None)
+        connection.unsubscribed.add(sub_id)
+        return connection.subscriptions.pop(sub_id, None)
+
+    # ------------------------------------------------------------------
+    # Push (called on ingesting worker threads, bridged onto the loop)
+    # ------------------------------------------------------------------
+    def _push_update(
+        self, connection: _Connection, kind: str, subscription: Subscription, result
+    ) -> None:
+        wire = (
+            protocol.result_to_wire(result)
+            if kind == "top_k"
+            else {"flows": protocol.flows_to_wire(result)}
+        )
+        # seq is 0 here; _deliver_push numbers the frame on the event loop,
+        # where push_seq is touched by exactly one thread — a worker-side
+        # counter would race with the subscribe path.
+        frame = protocol.push_update_frame(subscription.sub_id, 0, kind, wire)
+        self._loop.call_soon_threadsafe(self._deliver_push, connection, frame, False)
+
+    def _push_evicted(
+        self, connection: _Connection, subscription: Subscription, error
+    ) -> None:
+        frame = protocol.push_evicted_frame(subscription.sub_id, error)
+        self._loop.call_soon_threadsafe(self._deliver_push, connection, frame, True)
+
+    def _deliver_push(
+        self, connection: _Connection, frame: dict, evicted: bool
+    ) -> None:
+        """Event-loop side of a push: number it, enqueue it, count it.
+
+        ``call_soon_threadsafe`` preserves the scheduling order of the
+        refreshes (they are serialised under the store lock), so per-
+        subscription sequence numbers assigned here are contiguous and in
+        refresh order.
+        """
+        if connection not in self._connections or connection.closing:
+            return
+        sub_id = frame["subscription"]
+        if sub_id in connection.unsubscribed:
+            return
+        if not evicted:
+            seq = connection.push_seq.get(sub_id, 0) + 1
+            connection.push_seq[sub_id] = seq
+            frame["seq"] = seq
+        connection.send_frame(frame)
+        self.metrics.note_push(evicted=evicted)
+

@@ -34,6 +34,7 @@ presences a batch actually changed.
 from __future__ import annotations
 
 import itertools
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -163,6 +164,24 @@ class RecordStore(ABC):
     def __init__(self) -> None:
         self._listeners: Dict[int, StoreListener] = {}
         self._listener_tokens = itertools.count(1)
+        self._lock = threading.RLock()
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The store's single re-entrant mutation/read lock.
+
+        Every mutation (``ingest_batch`` / ``append`` / ``evict_before``) and
+        every structural read (``range_query``, ``version_token``, …) runs
+        under this lock, so concurrent threads — the query service executes
+        requests on a worker pool — see each batch (including the listener
+        notifications it triggers) as one atomic step.  The lock is
+        re-entrant and *shared*: the continuous-query engine synchronises its
+        subscription state on the same object, which rules out the AB-BA
+        deadlock a second lock would invite (ingest holds the store lock and
+        enters the maintenance engine; registration enters the maintenance
+        engine and reads the store).
+        """
+        return self._lock
 
     # ------------------------------------------------------------------
     # Subscriptions

@@ -73,34 +73,37 @@ class InMemoryRecordStore(RecordStore):
         self.ingest_batch((record,))
 
     def ingest_batch(self, records: Iterable[PositioningRecord]) -> IngestReceipt:
-        batch = list(records)
-        for record in batch:
-            self._insert(record)
-        if batch:
-            self._version += 1
-        receipt = IngestReceipt(
-            records_ingested=len(batch),
-            shards_touched=(WHOLE_TABLE,) if batch else (),
-            object_spans=summarise_object_spans(batch),
-        )
-        if batch:
-            self._notify(IngestEvent(receipt))
-        return receipt
+        with self._lock:
+            batch = list(records)
+            for record in batch:
+                self._insert(record)
+            if batch:
+                self._version += 1
+            receipt = IngestReceipt(
+                records_ingested=len(batch),
+                shards_touched=(WHOLE_TABLE,) if batch else (),
+                object_spans=summarise_object_spans(batch),
+            )
+            if batch:
+                self._notify(IngestEvent(receipt))
+            return receipt
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def range_query(self, start: float, end: float) -> List[PositioningRecord]:
-        if self._index_kind == "1dr-tree":
-            return self._rtree.range_query(start, end)
-        return self._bptree.range_query(start, end)
+        with self._lock:
+            if self._index_kind == "1dr-tree":
+                return self._rtree.range_query(start, end)
+            return self._bptree.range_query(start, end)
 
     def version_token(
         self, start: Optional[float] = None, end: Optional[float] = None
     ) -> VersionToken:
         # Whole-table granularity regardless of the window: the flat store
         # cannot tell which part of the table an ingestion touched.
-        return (self._uid, self._version)
+        with self._lock:
+            return (self._uid, self._version)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -111,18 +114,21 @@ class InMemoryRecordStore(RecordStore):
     def records_in_time_order(self) -> Sequence[PositioningRecord]:
         # The R-tree keeps (timestamp, record) pairs sorted with arrival
         # order preserved on ties.
-        return tuple(record for _, record in self._rtree)
+        with self._lock:
+            return tuple(record for _, record in self._rtree)
 
     @property
     def records_in_arrival_order(self) -> Sequence[PositioningRecord]:
         """The records exactly as appended (the seed's ``IUPT.records``)."""
-        return tuple(self._records)
+        with self._lock:
+            return tuple(self._records)
 
     def time_span(self) -> Tuple[float, float]:
-        if not self._records:
-            return (float("inf"), float("-inf"))
-        timestamps = [r.timestamp for r in self._records]
-        return (min(timestamps), max(timestamps))
+        with self._lock:
+            if not self._records:
+                return (float("inf"), float("-inf"))
+            timestamps = [r.timestamp for r in self._records]
+            return (min(timestamps), max(timestamps))
 
     def describe(self) -> dict:
         summary = super().describe()

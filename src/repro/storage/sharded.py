@@ -145,37 +145,38 @@ class ShardedRecordStore(RecordStore):
         batch = sorted(records, key=lambda record: record.timestamp)
         if not batch:
             return IngestReceipt()
-        if batch[0].timestamp < self._watermark:
-            raise ValueError(
-                f"batch contains records before the retention watermark "
-                f"t={self._watermark}; evicted shards cannot be refilled"
+        with self._lock:
+            if batch[0].timestamp < self._watermark:
+                raise ValueError(
+                    f"batch contains records before the retention watermark "
+                    f"t={self._watermark}; evicted shards cannot be refilled"
+                )
+
+            touched: List[int] = []
+            start = 0
+            while start < len(batch):
+                key = self.shard_key(batch[start].timestamp)
+                stop = start
+                while stop < len(batch) and self.shard_key(batch[stop].timestamp) == key:
+                    stop += 1
+                shard = self._shards.get(key)
+                if shard is None:
+                    shard = _Shard(key=key)
+                    self._shards[key] = shard
+                    insert_at = bisect_left(self._shard_keys, key)
+                    self._shard_keys.insert(insert_at, key)
+                shard.absorb(batch[start:stop])
+                touched.append(key)
+                self._count += stop - start
+                start = stop
+
+            receipt = IngestReceipt(
+                records_ingested=len(batch),
+                shards_touched=tuple(touched),
+                object_spans=summarise_object_spans(batch),
             )
-
-        touched: List[int] = []
-        start = 0
-        while start < len(batch):
-            key = self.shard_key(batch[start].timestamp)
-            stop = start
-            while stop < len(batch) and self.shard_key(batch[stop].timestamp) == key:
-                stop += 1
-            shard = self._shards.get(key)
-            if shard is None:
-                shard = _Shard(key=key)
-                self._shards[key] = shard
-                insert_at = bisect_left(self._shard_keys, key)
-                self._shard_keys.insert(insert_at, key)
-            shard.absorb(batch[start:stop])
-            touched.append(key)
-            self._count += stop - start
-            start = stop
-
-        receipt = IngestReceipt(
-            records_ingested=len(batch),
-            shards_touched=tuple(touched),
-            object_spans=summarise_object_spans(batch),
-        )
-        self._notify(IngestEvent(receipt))
-        return receipt
+            self._notify(IngestEvent(receipt))
+            return receipt
 
     # ------------------------------------------------------------------
     # Shard selection
@@ -194,22 +195,25 @@ class ShardedRecordStore(RecordStore):
     # Queries
     # ------------------------------------------------------------------
     def range_query(self, start: float, end: float) -> List[PositioningRecord]:
-        check_not_evicted(self, start, end)
-        overlapping = self.overlapping_shard_keys(start, end)
-        self.shards_probed += len(overlapping)
-        self.shards_pruned += len(self._shard_keys) - len(overlapping)
+        with self._lock:
+            check_not_evicted(self, start, end)
+            overlapping = self.overlapping_shard_keys(start, end)
+            self.shards_probed += len(overlapping)
+            self.shards_pruned += len(self._shard_keys) - len(overlapping)
 
-        results: List[PositioningRecord] = []
-        for key in overlapping:
-            shard = self._shards[key]
-            shard_start = key * self._shard_seconds
-            shard_end = (key + 1) * self._shard_seconds
-            if start <= shard_start and shard_end <= end:
-                # Fully covered: the sorted record list IS the answer.
-                results.extend(shard.records)
-            else:
-                results.extend(shard.index(self._index_kind).range_query(start, end))
-        return results
+            results: List[PositioningRecord] = []
+            for key in overlapping:
+                shard = self._shards[key]
+                shard_start = key * self._shard_seconds
+                shard_end = (key + 1) * self._shard_seconds
+                if start <= shard_start and shard_end <= end:
+                    # Fully covered: the sorted record list IS the answer.
+                    results.extend(shard.records)
+                else:
+                    results.extend(
+                        shard.index(self._index_kind).range_query(start, end)
+                    )
+            return results
 
     def version_token(
         self, start: Optional[float] = None, end: Optional[float] = None
@@ -220,38 +224,40 @@ class ShardedRecordStore(RecordStore):
         # window that loses an overlapping shard changes token through the
         # shard list itself, and a window reaching into evicted history
         # raises EvictedRangeError before any cache read.
-        if start is None or end is None:
-            shard_part = tuple(
-                (key, self._shards[key].version) for key in self._shard_keys
-            )
-        else:
-            shard_part = tuple(
-                (key, self._shards[key].version)
-                for key in self.overlapping_shard_keys(start, end)
-            )
-        return (self._uid, shard_part)
+        with self._lock:
+            if start is None or end is None:
+                shard_part = tuple(
+                    (key, self._shards[key].version) for key in self._shard_keys
+                )
+            else:
+                shard_part = tuple(
+                    (key, self._shards[key].version)
+                    for key in self.overlapping_shard_keys(start, end)
+                )
+            return (self._uid, shard_part)
 
     # ------------------------------------------------------------------
     # Retention
     # ------------------------------------------------------------------
     def evict_before(self, timestamp: float) -> int:
         """Drop every shard whose time range ends at or before ``timestamp``."""
-        dropped = 0
-        kept_keys: List[int] = []
-        for key in self._shard_keys:
-            shard_end = (key + 1) * self._shard_seconds
-            if shard_end <= timestamp:
-                dropped += len(self._shards[key].records)
-                watermark = shard_end
-                del self._shards[key]
-                self._watermark = max(self._watermark, watermark)
-            else:
-                kept_keys.append(key)
-        self._shard_keys = kept_keys
-        self._count -= dropped
-        if dropped:
-            self._notify(EvictionEvent(self._watermark, dropped))
-        return dropped
+        with self._lock:
+            dropped = 0
+            kept_keys: List[int] = []
+            for key in self._shard_keys:
+                shard_end = (key + 1) * self._shard_seconds
+                if shard_end <= timestamp:
+                    dropped += len(self._shards[key].records)
+                    watermark = shard_end
+                    del self._shards[key]
+                    self._watermark = max(self._watermark, watermark)
+                else:
+                    kept_keys.append(key)
+            self._shard_keys = kept_keys
+            self._count -= dropped
+            if dropped:
+                self._notify(EvictionEvent(self._watermark, dropped))
+            return dropped
 
     @property
     def eviction_watermark(self) -> float:
@@ -264,23 +270,26 @@ class ShardedRecordStore(RecordStore):
         return self._count
 
     def records_in_time_order(self) -> Sequence[PositioningRecord]:
-        ordered: List[PositioningRecord] = []
-        for key in self._shard_keys:
-            ordered.extend(self._shards[key].records)
-        return tuple(ordered)
+        with self._lock:
+            ordered: List[PositioningRecord] = []
+            for key in self._shard_keys:
+                ordered.extend(self._shards[key].records)
+            return tuple(ordered)
 
     def time_span(self) -> Tuple[float, float]:
-        if not self._shard_keys:
-            return (float("inf"), float("-inf"))
-        earliest = self._shards[self._shard_keys[0]].records[0].timestamp
-        latest = max(
-            shard.records[-1].timestamp for shard in self._shards.values()
-        )
-        return (earliest, latest)
+        with self._lock:
+            if not self._shard_keys:
+                return (float("inf"), float("-inf"))
+            earliest = self._shards[self._shard_keys[0]].records[0].timestamp
+            latest = max(
+                shard.records[-1].timestamp for shard in self._shards.values()
+            )
+            return (earliest, latest)
 
     def shard_versions(self) -> Dict[int, int]:
         """``shard key -> version`` snapshot (diagnostics and tests)."""
-        return {key: self._shards[key].version for key in self._shard_keys}
+        with self._lock:
+            return {key: self._shards[key].version for key in self._shard_keys}
 
     def describe(self) -> dict:
         summary = super().describe()

@@ -434,3 +434,140 @@ class TestStoreEvents:
         assert not iupt.unsubscribe(token)
         iupt.ingest_batch([PositioningRecord(1, SampleSet.certain(1), 40.0)])
         assert len(events) == 1
+
+
+# ----------------------------------------------------------------------
+# Push callbacks (the service layer's update hook)
+# ----------------------------------------------------------------------
+class TestPushCallbacks:
+    def test_on_update_fires_after_state_is_applied(self):
+        """Ordering contract: when the callback runs, the subscription
+        already serves the new result — ``sub.result`` inside the callback
+        IS the result the callback received."""
+        engine, iupt, plocs, slocs, batches = _continuous_setup("sharded")
+        continuous = engine.continuous(iupt)
+        observed = []
+
+        def on_update(sub, result):
+            observed.append(
+                (sub.stats.refreshes, result is sub.result, result.top_k_ids())
+            )
+
+        sub = continuous.register_top_k(
+            slocs, k=2, start=0.0, end=SPAN, on_update=on_update
+        )
+        assert observed == []  # the registration compute is not a refresh
+        iupt.ingest_batch(batches[3])
+        assert len(observed) == 1
+        refreshes, same_object, pushed_ids = observed[0]
+        assert refreshes == 2  # registration + this refresh, already counted
+        assert same_object is True
+        assert pushed_ids == sub.top_k_ids()
+
+    def test_on_update_skipped_refreshes_do_not_fire(self):
+        engine, iupt, plocs, slocs, batches = _continuous_setup("sharded")
+        continuous = engine.continuous(iupt)
+        fired = []
+        sub = continuous.register_top_k(
+            slocs, k=2, start=0.0, end=19.0,
+            on_update=lambda s, r: fired.append(r),
+        )
+        iupt.ingest_batch(batches[4])  # shard [40, 50): token unchanged
+        assert sub.stats.skipped == 1
+        assert fired == []
+        iupt.ingest_batch(batches[3] or batches[5])  # keep the stream moving
+        # Only batches touching [0, 19] fire; this one still does not.
+        assert fired == []
+
+    def test_on_update_fires_per_applied_refresh_for_flows(self):
+        engine, iupt, plocs, slocs, batches = _continuous_setup("flat")
+        continuous = engine.continuous(iupt)
+        fired = []
+        sub = continuous.register_flows(
+            slocs, 0.0, SPAN, on_update=lambda s, r: fired.append(dict(r))
+        )
+        iupt.ingest_batch(batches[3])
+        iupt.ingest_batch(batches[4])
+        # The flat store's whole-table token churns every batch: two fires.
+        assert len(fired) == 2
+        assert fired[-1] == sub.result
+
+    def test_callback_attachable_after_registration(self):
+        engine, iupt, plocs, slocs, batches = _continuous_setup("sharded")
+        continuous = engine.continuous(iupt)
+        sub = continuous.register_top_k(slocs, k=2, start=0.0, end=SPAN)
+        fired = []
+        sub.on_update = lambda s, r: fired.append(s.sub_id)
+        iupt.ingest_batch(batches[3])
+        assert fired == [sub.sub_id]
+
+    def test_on_evicted_fires_once_with_the_raised_error(self):
+        engine, iupt, plocs, slocs, batches = _continuous_setup("sharded")
+        continuous = engine.continuous(iupt)
+        evictions = []
+        sub = continuous.register_top_k(
+            slocs, k=2, start=0.0, end=19.0,
+            on_evicted=lambda s, error: evictions.append(error),
+        )
+        iupt.evict_before(10.0)
+        assert len(evictions) == 1
+        with pytest.raises(EvictedRangeError) as excinfo:
+            sub.result
+        assert excinfo.value is evictions[0]
+        iupt.evict_before(20.0)  # already dead: no second notification
+        assert len(evictions) == 1
+
+
+# ----------------------------------------------------------------------
+# Concurrent ingestion (the service's worker pool does exactly this)
+# ----------------------------------------------------------------------
+class TestConcurrentIngest:
+    @pytest.mark.parametrize("store_kind", STORE_KINDS)
+    def test_concurrent_ingest_threads_keep_standing_results_exact(
+        self, store_kind
+    ):
+        """Regression for the unlocked ``_on_event``: several threads calling
+        ``ingest_batch`` concurrently must serialise their refreshes — after
+        the dust settles every standing result is still bit-identical to a
+        fresh full recompute over the final table."""
+        import threading
+
+        graph, matrix, plocs, slocs = _small_space()
+        engine = QueryEngine(graph, matrix)
+        iupt = _make_table(store_kind)
+        batches = [b for b in _batches(_stream(11, plocs, objects=6, count=120)) if b]
+        continuous = engine.continuous(iupt)
+        subs = [
+            ("top-k", continuous.register_top_k(slocs, k=2, start=0.0, end=SPAN)),
+            ("flows", continuous.register_flows(slocs, 0.0, SPAN)),
+            ("top-k", continuous.register_top_k(slocs, k=3, start=5.0, end=35.0)),
+        ]
+
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def ingest(worker: int) -> None:
+            try:
+                barrier.wait(timeout=10.0)
+                for index, batch in enumerate(batches):
+                    if index % 4 == worker:
+                        iupt.ingest_batch(batch)
+            except Exception as error:  # noqa: BLE001 - reported via the list
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=ingest, args=(worker,)) for worker in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        assert len(iupt) == sum(len(batch) for batch in batches)
+
+        nonzero = 0
+        for kind, sub in subs:
+            assert sub.active
+            nonzero += _check_subscription(engine, iupt, kind, sub)
+        assert nonzero > 0, "concurrency test produced only zero flows (vacuous)"
+        continuous.close()

@@ -52,8 +52,14 @@ def fresh_engine(scenario, config=None, reduction=None) -> QueryEngine:
 # ----------------------------------------------------------------------
 class TestEngineConfig:
     def test_rejects_unknown_executor(self):
-        with pytest.raises(ValueError):
-            EngineConfig(executor="gpu")
+        # A typo'd executor must fail at construction with a message naming
+        # the valid kinds — not deep inside make_executor at first query.
+        with pytest.raises(ValueError, match="serial"):
+            EngineConfig(executor="treads")
+
+    def test_rejects_unknown_continuous_refresh(self):
+        with pytest.raises(ValueError, match="incremental"):
+            EngineConfig(continuous_refresh="eventually")
 
     def test_rejects_bad_bounds(self):
         with pytest.raises(ValueError):

@@ -64,6 +64,16 @@ def test_live_dashboard_runs_and_maintains_standing_queries(capsys):
     assert "live standing query still serving" in output
 
 
+def test_query_server_runs_and_pushes_over_the_wire(capsys):
+    output = _run_example("query_server.py", capsys)
+    assert "query service serving on" in output
+    assert "one-shot top-3" in output
+    assert "registered standing top-3" in output
+    assert "push #1 to dashboard" in output
+    assert "service stats:" in output
+    assert "service drained and stopped" in output
+
+
 def test_examples_directory_contains_at_least_three_scripts():
     scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
     assert len(scripts) >= 3
