@@ -81,6 +81,8 @@ from .service import (
     ServiceError,
 )
 from .storage import (
+    DurabilityConfig,
+    DurableRecordStore,
     EvictedRangeError,
     IngestReceipt,
     InMemoryRecordStore,
@@ -107,7 +109,13 @@ from .synth import (
 # control, per-op latency metrics, and live push of standing-subscription
 # refreshes (Subscription.on_update); stores gained a shared re-entrant
 # mutation/read lock so concurrent service workers are safe.
-__version__ = "3.2.0"
+# 3.3.0: durable storage. DurableRecordStore / IUPT.durable put a write-ahead
+# log (per-shard segments + batch commit records) and per-shard snapshots
+# under the sharded store; recovery reproduces bit-identical
+# range_query/version_token state, the service gained a checkpoint op,
+# subscription-manifest restore and flush-on-drain, and both stores honour
+# one documented eviction/ingest boundary contract (flat stores evict now).
+__version__ = "3.3.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -119,6 +127,8 @@ __all__ = [
     "ContinuousQueryEngine",
     "DataReducer",
     "DataReductionConfig",
+    "DurabilityConfig",
+    "DurableRecordStore",
     "EngineConfig",
     "EvictedRangeError",
     "ExecutionContext",

@@ -29,6 +29,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..storage import (
     DEFAULT_SHARD_SECONDS,
+    DurabilityConfig,
+    DurableRecordStore,
     IngestReceipt,
     InMemoryRecordStore,
     RecordStore,
@@ -88,9 +90,42 @@ class IUPT:
             ),
         )
 
+    @classmethod
+    def durable(
+        cls,
+        path,
+        shard_seconds: float = DEFAULT_SHARD_SECONDS,
+        index_kind: str = "1dr-tree",
+        config: Optional[DurabilityConfig] = None,
+    ) -> "IUPT":
+        """A table over the write-ahead-logged durable sharded store.
+
+        Pass a fresh directory to create a new table, or an existing one to
+        **recover** the table it holds — ingested batches, per-shard
+        versions (and therefore :meth:`data_key_for` tokens) and the
+        retention watermark all survive a process restart.  When the
+        directory already exists its persisted manifest decides
+        ``shard_seconds``/``index_kind``; see
+        :class:`~repro.storage.durable.DurableRecordStore`.
+        """
+        store = DurableRecordStore(
+            path,
+            shard_seconds=shard_seconds,
+            index_kind=index_kind,
+            config=config,
+        )
+        return cls(index_kind=store.index_kind, store=store)
+
     def _clone_empty(self) -> "IUPT":
-        """An empty table over a fresh store of the same kind and settings."""
-        if isinstance(self._store, ShardedRecordStore):
+        """An empty table over a fresh store of the same kind and settings.
+
+        Derived tables (:meth:`with_max_sample_set_size`,
+        :meth:`filtered_to_objects`) of a *durable* table are volatile
+        sharded clones: they are transient experiment inputs, and silently
+        logging them into a second directory would be more surprising than
+        useful.
+        """
+        if isinstance(self._store, (ShardedRecordStore, DurableRecordStore)):
             return IUPT.sharded(
                 shard_seconds=self._store.shard_seconds,
                 index_kind=self._index_kind,
@@ -140,10 +175,14 @@ class IUPT:
         return self._store.unsubscribe(token)
 
     def evict_before(self, timestamp: float) -> int:
-        """Drop whole shards ending at or before ``timestamp`` (sharded only).
+        """Drop records strictly below ``timestamp`` per the retention contract.
 
-        Returns the number of records dropped.  Later window queries that
-        reach below the eviction watermark raise
+        The cut-off is exclusive — a record at ``timestamp == cutoff`` always
+        survives (see the boundary contract on
+        :meth:`~repro.storage.base.RecordStore.evict_before`).  Sharded and
+        durable stores drop whole shards; the flat store drops exactly the
+        strictly-older records.  Returns the number of records dropped.
+        Later window queries that reach below the eviction watermark raise
         :class:`~repro.storage.base.EvictedRangeError` rather than silently
         returning partial flows.
         """

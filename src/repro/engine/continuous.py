@@ -46,6 +46,9 @@ baseline of ``benchmarks/test_bench_continuous.py``.
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
 import time
 from dataclasses import dataclass
 from typing import (
@@ -205,6 +208,14 @@ class ContinuousQueryEngine:
     refresh:
         ``"incremental"`` or ``"recompute"``; defaults to the engine
         config's ``continuous_refresh``.
+    manifest_path:
+        When set, every registered standing query is mirrored into a JSON
+        manifest at this path (rewritten atomically on each register /
+        unregister), and :meth:`restore_subscriptions` re-registers the
+        persisted queries — with their original subscription ids — after a
+        process restart.  The query service points this at the durable
+        store's :attr:`~repro.storage.durable.DurableRecordStore.subscription_manifest_path`
+        so standing subscriptions survive together with the data they watch.
     """
 
     def __init__(
@@ -212,6 +223,7 @@ class ContinuousQueryEngine:
         engine: "QueryEngine",
         iupt: IUPT,
         refresh: Optional[str] = None,
+        manifest_path: Optional["os.PathLike[str] | str"] = None,
     ):
         refresh = refresh if refresh is not None else engine.config.continuous_refresh
         if refresh not in CONTINUOUS_REFRESH_KINDS:
@@ -232,6 +244,9 @@ class ContinuousQueryEngine:
         # the lock serialises concurrent ``ingest_batch`` threads' refreshes
         # against each other and against registration.
         self._lock = iupt.store.lock
+        self._manifest_path = (
+            pathlib.Path(manifest_path) if manifest_path is not None else None
+        )
         self._token: Optional[int] = iupt.subscribe(self._on_event)
 
     # ------------------------------------------------------------------
@@ -276,7 +291,7 @@ class ContinuousQueryEngine:
         window already reaches below the table's retention watermark.
         """
         subscription = Subscription(
-            self._next_id,
+            0,  # the real id is minted under the lock in _admit
             TOP_K,
             query.interval,
             tuple(query.query_slocations),
@@ -315,7 +330,7 @@ class ContinuousQueryEngine:
         if not ordered:
             raise ValueError("a flow subscription needs at least one S-location")
         subscription = Subscription(
-            self._next_id,
+            0,  # the real id is minted under the lock in _admit
             FLOWS,
             (float(start), float(end)),
             ordered,
@@ -326,15 +341,98 @@ class ContinuousQueryEngine:
 
     def _admit(self, subscription: Subscription) -> Subscription:
         with self._lock:
+            # Mint the id under the lock: concurrent registrations (the
+            # query service runs them on worker threads) must never collide
+            # — the persisted manifest and the wire ``resume`` op key on it.
+            subscription.sub_id = self._next_id
             self._next_id += 1
             self._compute(subscription)  # raises EvictedRangeError on dead windows
             self._subscriptions[subscription.sub_id] = subscription
+            self._persist_manifest()
             return subscription
 
     def unregister(self, subscription: Subscription) -> bool:
         """Drop a subscription; returns whether it was registered."""
         with self._lock:
-            return self._subscriptions.pop(subscription.sub_id, None) is not None
+            removed = self._subscriptions.pop(subscription.sub_id, None) is not None
+            if removed:
+                self._persist_manifest()
+            return removed
+
+    def subscription(self, sub_id: int) -> Optional[Subscription]:
+        """Look up a registered subscription by id (``None`` if unknown)."""
+        with self._lock:
+            return self._subscriptions.get(sub_id)
+
+    # ------------------------------------------------------------------
+    # Manifest persistence
+    # ------------------------------------------------------------------
+    def _persist_manifest(self) -> None:
+        """Mirror the registered standing queries to disk (under the lock)."""
+        if self._manifest_path is None:
+            return
+        entries = []
+        for subscription in self._subscriptions.values():
+            entry: Dict[str, object] = {
+                "id": subscription.sub_id,
+                "kind": subscription.kind,
+                "slocs": list(subscription.sloc_ids),
+                "window": [subscription.window[0], subscription.window[1]],
+            }
+            if subscription.query is not None:
+                entry["k"] = subscription.query.k
+            entries.append(entry)
+        tmp = self._manifest_path.with_suffix(self._manifest_path.suffix + ".tmp")
+        tmp.write_text(json.dumps(entries, indent=2), encoding="utf-8")
+        os.replace(tmp, self._manifest_path)
+
+    def restore_subscriptions(self) -> List[Subscription]:
+        """Re-register the standing queries persisted in the manifest.
+
+        Called once after recovering a durable table: each manifest entry is
+        re-admitted under its **original subscription id** and its result is
+        recomputed from the recovered data, so a client reconnecting after a
+        restart can resume the same subscription.  A window that retention
+        evicted while the process was down is restored in the *evicted*
+        state (reading its result raises
+        :class:`~repro.storage.base.EvictedRangeError`) rather than dropped
+        silently.  Entries already registered are skipped; returns the
+        restored subscriptions.
+        """
+        if self._manifest_path is None or not self._manifest_path.exists():
+            return []
+        entries = json.loads(self._manifest_path.read_text(encoding="utf-8"))
+        restored: List[Subscription] = []
+        with self._lock:
+            for entry in entries:
+                sub_id = int(entry["id"])
+                if sub_id in self._subscriptions:
+                    continue
+                window = (float(entry["window"][0]), float(entry["window"][1]))
+                sloc_ids = tuple(int(sloc) for sloc in entry["slocs"])
+                if entry["kind"] == TOP_K:
+                    query = TkPLQuery.build(
+                        list(sloc_ids), int(entry["k"]), window[0], window[1]
+                    )
+                    subscription = Subscription(
+                        sub_id,
+                        TOP_K,
+                        query.interval,
+                        tuple(query.query_slocations),
+                        query=query,
+                    )
+                else:
+                    subscription = Subscription(sub_id, FLOWS, window, sloc_ids)
+                try:
+                    self._compute(subscription)
+                except EvictedRangeError as error:
+                    subscription._error = error
+                self._subscriptions[sub_id] = subscription
+                self._next_id = max(self._next_id, sub_id + 1)
+                restored.append(subscription)
+            if restored:
+                self._persist_manifest()
+        return restored
 
     # ------------------------------------------------------------------
     # Storage events

@@ -139,7 +139,10 @@ class QueryEngine:
     # Continuous queries
     # ------------------------------------------------------------------
     def continuous(
-        self, iupt: IUPT, refresh: Optional[str] = None
+        self,
+        iupt: IUPT,
+        refresh: Optional[str] = None,
+        manifest_path=None,
     ) -> ContinuousQueryEngine:
         """Attach a continuous-query engine to ``iupt``.
 
@@ -147,8 +150,12 @@ class QueryEngine:
         :class:`~repro.engine.continuous.ContinuousQueryEngine` are refreshed
         after every ``ingest_batch`` / ``evict_before`` on the table —
         incrementally by default (see ``EngineConfig.continuous_refresh``).
+        ``manifest_path`` persists the registered queries so they can be
+        restored after a restart (used with durable tables).
         """
-        return ContinuousQueryEngine(self, iupt, refresh=refresh)
+        return ContinuousQueryEngine(
+            self, iupt, refresh=refresh, manifest_path=manifest_path
+        )
 
     # ------------------------------------------------------------------
     # Batched evaluation

@@ -38,6 +38,7 @@ from .protocol import (
     OPS,
     PROTOCOL_VERSION,
     ProtocolError,
+    READ_ONLY_OPS,
     SUBSCRIPTION_KINDS,
     decode_frame,
     encode_frame,
@@ -67,6 +68,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "QueryService",
+    "READ_ONLY_OPS",
     "REASON_CAPACITY",
     "REASON_DRAINING",
     "REASON_RATE",

@@ -60,9 +60,12 @@ class ClientCore:
         ("push", frame)                   an unsolicited subscription frame
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_frame_bytes: Optional[int] = protocol.MAX_FRAME_BYTES) -> None:
         self._ids = itertools.count(1)
-        self._splitter = FrameSplitter()
+        # The client enforces the same inclusive frame-size boundary as the
+        # server's read loop (see protocol.MAX_FRAME_BYTES): a hostile or
+        # buggy server cannot balloon the sans-I/O buffer without bound.
+        self._splitter = FrameSplitter(max_line_bytes=max_frame_bytes)
         self.pending: Dict[object, dict] = {}
 
     def build_request(self, op: str, **fields: object) -> Tuple[int, bytes]:
@@ -275,6 +278,10 @@ class ServiceClient:
     async def evict_before(self, timestamp: float) -> dict:
         return await self.request("evict_before", timestamp=timestamp)
 
+    async def checkpoint(self) -> dict:
+        """Snapshot a durable store (``bad_request`` on volatile stores)."""
+        return await self.request("checkpoint")
+
     async def stats(self) -> dict:
         return await self.request("stats")
 
@@ -295,6 +302,16 @@ class ServiceClient:
         result = await self.request(
             "subscribe", kind="flows", q=list(q), start=start, end=end
         )
+        return self._materialise_subscription(result)
+
+    async def resume_subscription(self, sub_id: int) -> RemoteSubscription:
+        """Re-attach to a standing subscription that survived a restart.
+
+        The server restores standing queries from the durable store's
+        manifest on start; resuming returns the current maintained result
+        and routes subsequent pushes to this connection.
+        """
+        result = await self.request("subscribe", resume=sub_id)
         return self._materialise_subscription(result)
 
     def _materialise_subscription(self, result: dict) -> RemoteSubscription:

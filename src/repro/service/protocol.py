@@ -12,6 +12,8 @@ an ``op``::
     {"id": 2, "op": "ingest_batch", "records": [[7, 12.5, [[14, 0.6], [15, 0.4]]], ...]}
     {"id": 3, "op": "subscribe", "kind": "top_k", "q": [3, 5], "k": 1,
      "start": 0.0, "end": 60.0}
+    {"id": 4, "op": "subscribe", "resume": 3}          # re-attach after a restart
+    {"id": 5, "op": "checkpoint"}                      # durable stores only
 
 **Responses** (server → client) echo the ``id`` and carry either a result or
 a structured error::
@@ -52,6 +54,14 @@ PROTOCOL_VERSION = 1
 #: which a few-thousand-record ``ingest_batch`` frame easily exceeds); a
 #: line beyond it fails the connection with a structured ``bad_frame``
 #: error instead of an unhandled ``ValueError`` in the read loop.
+#:
+#: **Boundary contract**: the limit counts the bytes of the frame line with
+#: the ``\n`` terminator *excluded*, and is inclusive — a frame of exactly
+#: ``MAX_FRAME_BYTES`` bytes is the largest accepted, one byte more is
+#: rejected.  ``asyncio.StreamReader.readline`` enforces exactly this (it
+#: raises only when the separator's offset *exceeds* the limit), and the
+#: sans-I/O :class:`FrameSplitter` mirrors the same rule for the client
+#: core and offline tests; ``tests/test_service.py`` pins both boundaries.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 #: Request operations the server understands.
@@ -63,10 +73,17 @@ OPS = (
     "batch",
     "ingest_batch",
     "evict_before",
+    "checkpoint",
     "subscribe",
     "unsubscribe",
     "stats",
 )
+
+#: Introspection ops that bypass admission control: they are how operators
+#: observe a draining or overloaded service, so shedding them would blind
+#: exactly the clients that need to watch the drain.  They take no store
+#: mutation and no engine work, so admitting them is always safe.
+READ_ONLY_OPS = ("ping", "stats")
 
 #: Subscription kinds accepted by ``subscribe``.
 SUBSCRIPTION_KINDS = ("top_k", "flows")
@@ -315,18 +332,38 @@ class FrameSplitter:
     Feed it arbitrary byte chunks; it yields each complete ``\\n``-terminated
     line exactly once, buffering partial tails.  The client core and the
     protocol tests use it to exercise framing without a socket.
+
+    ``max_line_bytes`` enforces the :data:`MAX_FRAME_BYTES` boundary
+    contract: a line of exactly that many bytes (terminator excluded) is
+    accepted, a longer one — or a buffered tail that can no longer fit —
+    raises :class:`ProtocolError` (kind ``bad_frame``).  The stream cannot
+    be resynchronised after an overrun, matching the server's behaviour of
+    failing the connection.  ``None`` disables the check.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_line_bytes: Optional[int] = None) -> None:
         self._buffer = bytearray()
+        self._max_line_bytes = max_line_bytes
 
     def feed(self, chunk: bytes) -> List[bytes]:
         self._buffer.extend(chunk)
+        limit = self._max_line_bytes
         lines: List[bytes] = []
         while True:
             newline = self._buffer.find(b"\n")
             if newline < 0:
+                if limit is not None and len(self._buffer) > limit:
+                    raise ProtocolError(
+                        "bad_frame",
+                        f"frame exceeds the {limit}-byte limit before any "
+                        f"terminator; the stream cannot be resynchronised",
+                    )
                 return lines
+            if limit is not None and newline > limit:
+                raise ProtocolError(
+                    "bad_frame",
+                    f"frame of {newline} bytes exceeds the {limit}-byte limit",
+                )
             lines.append(bytes(self._buffer[:newline]))
             del self._buffer[: newline + 1]
 

@@ -38,7 +38,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Set, Tuple
 
 from ..data.iupt import IUPT
-from ..engine.continuous import Subscription
+from ..engine.continuous import Subscription, TOP_K
 from ..engine.runtime import QueryEngine
 from ..storage import EvictedRangeError
 from .admission import AdmissionConfig, AdmissionController
@@ -150,14 +150,30 @@ class QueryService:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> Tuple[str, int]:
-        """Bind, attach the continuous engine, and begin accepting clients."""
+        """Bind, attach the continuous engine, and begin accepting clients.
+
+        Over a **durable** table this is also the recovery hook: the
+        continuous engine is pointed at the store's subscription manifest
+        and every persisted standing query is re-registered (with its
+        original subscription id) before the first client connects, so
+        subscriptions survive a service restart — a reconnecting client
+        re-attaches with ``subscribe {"resume": <id>}``.
+        """
         if self._server is not None:
             raise RuntimeError("service already started")
         self._loop = asyncio.get_running_loop()
         self._pool = ThreadPoolExecutor(
             max_workers=self._query_workers, thread_name_prefix="repro-query"
         )
-        self.continuous = self.engine.continuous(self.iupt)
+        manifest_path = getattr(self.iupt.store, "subscription_manifest_path", None)
+        self.continuous = self.engine.continuous(
+            self.iupt, manifest_path=manifest_path
+        )
+        if manifest_path is not None:
+            # Registration recomputes each standing result (store lock).
+            await self._loop.run_in_executor(
+                self._pool, self.continuous.restore_subscriptions
+            )
         self._server = await asyncio.start_server(
             self._handle_connection,
             self._host,
@@ -205,6 +221,13 @@ class QueryService:
         await self._server.wait_closed()
         if self.continuous is not None:
             self.continuous.close()
+        # Flush-on-drain: a durable table's write-ahead log is fsynced after
+        # the last admitted mutation completed, so everything a client got
+        # an acknowledgement for survives the shutdown regardless of the
+        # configured fsync policy.
+        flush = getattr(self.iupt.store, "flush", None)
+        if flush is not None:
+            await self._run_blocking(flush)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
 
@@ -263,6 +286,12 @@ class QueryService:
         queries behind: every subscription it registered is unregistered
         from the continuous engine (stopping its maintenance work), and its
         rate-limit state is dropped.
+
+        During a **drain** the rule flips: connections are being closed by
+        the server, not abandoned by their clients, so subscriptions are
+        only detached (their push callbacks cleared) and stay registered —
+        over a durable table that keeps them in the persisted manifest, and
+        a restarted service restores them for clients to ``resume``.
         """
         if connection not in self._connections:
             return
@@ -270,9 +299,16 @@ class QueryService:
         orphaned = list(connection.subscriptions.values())
         connection.subscriptions.clear()
         for subscription in orphaned:
-            # Unregistration takes the store lock — off the loop, like every
-            # other lock-taking call.
-            await self._run_blocking(self.continuous.unregister, subscription)
+            if self._stopped:
+                # Callback reads happen under the store lock at fire time;
+                # plain assignment is atomic and races at worst with one
+                # final push, which the closing connection drops anyway.
+                subscription.on_update = None
+                subscription.on_evicted = None
+            else:
+                # Unregistration takes the store lock — off the loop, like
+                # every other lock-taking call.
+                await self._run_blocking(self.continuous.unregister, subscription)
         self.admission.forget_client(connection.conn_id)
         await connection.flush_and_close()
         self.metrics.note_connection_closed()
@@ -323,30 +359,12 @@ class QueryService:
         self, connection: _Connection, op: str, frame: dict, request_id: object
     ) -> dict:
         """Admit, execute (off-loop where CPU-bound), and build the response."""
-        # Cheap introspection ops bypass admission: they must stay
-        # answerable while the service sheds query load.
-        if op == "ping":
-            return protocol.response_frame(
-                request_id,
-                {
-                    "pong": True,
-                    "protocol": protocol.PROTOCOL_VERSION,
-                    "store": self.iupt.store.kind,
-                    "records": len(self.iupt),
-                },
-            )
-        if op == "stats":
-            # The continuous summary takes the store lock (a worker may hold
-            # it through a long ingest+refresh), so that part runs off the
-            # loop; the metrics/admission counters are loop-owned and are
-            # snapshotted here, on their owning thread.
-            continuous_summary = await self._run_blocking(self.continuous.describe)
-            snapshot = self.metrics.snapshot(
-                cache_stats=self.engine.cache_stats(),
-                continuous_summary=continuous_summary,
-                admission=self.admission.as_dict(),
-            )
-            return protocol.response_frame(request_id, snapshot)
+        # Read-only introspection ops bypass admission entirely: they must
+        # stay answerable while the service is rate-limiting or draining —
+        # they are how operators observe the drain.  tests/test_service.py
+        # pins this for both drain and rate-limit shedding.
+        if op in protocol.READ_ONLY_OPS:
+            return await self._serve_read_only(op, request_id)
 
         rejection = self.admission.admit(connection.conn_id)
         if rejection is not None:
@@ -377,11 +395,18 @@ class QueryService:
                 # Back on the loop: only now may the subscription be tied to
                 # the connection.  If the client vanished while the worker
                 # was registering, unregister instead of leaking a standing
-                # query nobody will ever read.
+                # query nobody will ever read — except a RESUMED subscription,
+                # which predates this connection and must survive it: only
+                # its just-attached callbacks are detached, so the client's
+                # retry can resume it again.
                 if connection not in self._connections:
-                    await self._run_blocking(
-                        self.continuous.unregister, subscription
-                    )
+                    if result.get("resumed"):
+                        subscription.on_update = None
+                        subscription.on_evicted = None
+                    else:
+                        await self._run_blocking(
+                            self.continuous.unregister, subscription
+                        )
                     raise ProtocolError(
                         "bad_request", "connection closed during subscribe"
                     )
@@ -394,11 +419,36 @@ class QueryService:
                 "batch": self._do_batch,
                 "ingest_batch": self._do_ingest_batch,
                 "evict_before": self._do_evict_before,
+                "checkpoint": self._do_checkpoint,
             }[op]
             result = await self._run_blocking(handler, frame)
             return protocol.response_frame(request_id, result)
         finally:
             self.admission.release()
+
+    async def _serve_read_only(self, op: str, request_id: object) -> dict:
+        """Serve one of :data:`protocol.READ_ONLY_OPS` (never admission-gated)."""
+        if op == "ping":
+            return protocol.response_frame(
+                request_id,
+                {
+                    "pong": True,
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "store": self.iupt.store.kind,
+                    "records": len(self.iupt),
+                },
+            )
+        # stats: the continuous summary takes the store lock (a worker may
+        # hold it through a long ingest+refresh), so that part runs off the
+        # loop; the metrics/admission counters are loop-owned and are
+        # snapshotted here, on their owning thread.
+        continuous_summary = await self._run_blocking(self.continuous.describe)
+        snapshot = self.metrics.snapshot(
+            cache_stats=self.engine.cache_stats(),
+            continuous_summary=continuous_summary,
+            admission=self.admission.as_dict(),
+        )
+        return protocol.response_frame(request_id, snapshot)
 
     async def _run_blocking(self, fn, *args):
         """Run one CPU-bound handler on the worker pool, off the event loop."""
@@ -456,13 +506,30 @@ class QueryService:
             "watermark": self.iupt.store.eviction_watermark,
         }
 
+    def _do_checkpoint(self, _frame: dict) -> dict:
+        """Snapshot the durable store so recovery skips WAL replay."""
+        checkpoint = getattr(self.iupt.store, "checkpoint", None)
+        if checkpoint is None:
+            raise ProtocolError(
+                "bad_request",
+                f"the {self.iupt.store.kind!r} store is not durable; "
+                f"there is nothing to checkpoint",
+            )
+        return checkpoint()
+
     def _register_subscription(self, connection: _Connection, frame: dict):
         """Worker-pool half of ``subscribe``: register + first compute.
 
         Returns ``(subscription, response_payload)``; the caller ties the
         subscription to the connection back on the event loop, so this
         function never mutates connection state.
+
+        With a ``resume`` field the frame re-attaches to a subscription that
+        survived a restart (restored from the durable store's manifest) or a
+        drain, instead of registering a new one.
         """
+        if frame.get("resume") is not None:
+            return self._resume_subscription(connection, frame)
         kind = frame.get("kind", "top_k")
         if kind not in protocol.SUBSCRIPTION_KINDS:
             raise ProtocolError(
@@ -493,6 +560,55 @@ class QueryService:
             "subscription": subscription.sub_id,
             "kind": kind,
             "result": initial,
+        }
+
+    def _resume_subscription(self, connection: _Connection, frame: dict):
+        """Re-attach one detached standing subscription to this connection."""
+        try:
+            sub_id = int(frame["resume"])
+        except (TypeError, ValueError) as error:
+            raise ProtocolError("bad_request", str(error)) from error
+        subscription = self.continuous.subscription(sub_id)
+        if subscription is None:
+            raise ProtocolError(
+                "bad_request", f"unknown subscription {sub_id} (nothing to resume)"
+            )
+        kind = "top_k" if subscription.kind == TOP_K else "flows"
+        on_update = lambda sub, result: self._push_update(  # noqa: E731
+            connection, kind, sub, result
+        )
+        on_evicted = lambda sub, error: self._push_evicted(  # noqa: E731
+            connection, sub, error
+        )
+        with self.iupt.store.lock:
+            # Attach under the store lock so a concurrent refresh observes
+            # either no callbacks or both — never a half-attached pair; the
+            # claim check is atomic with the attach for the same reason.
+            if subscription.on_update is not None or subscription.on_evicted is not None:
+                raise ProtocolError(
+                    "bad_request",
+                    f"subscription {sub_id} is already attached to a connection",
+                )
+            subscription.on_update = on_update
+            subscription.on_evicted = on_evicted
+            # Reading .result raises EvictedRangeError when retention killed
+            # the window while the service was down — surfaced as the
+            # structured evicted_range error, exactly like a fresh register.
+            try:
+                result = subscription.result
+            except Exception:
+                subscription.on_update = None
+                subscription.on_evicted = None
+                raise
+        if kind == "top_k":
+            initial: object = protocol.result_to_wire(result)
+        else:
+            initial = {"flows": protocol.flows_to_wire(result)}
+        return subscription, {
+            "subscription": subscription.sub_id,
+            "kind": kind,
+            "result": initial,
+            "resumed": True,
         }
 
     @staticmethod

@@ -1,10 +1,11 @@
 """The IUPT storage layer: record-store backends behind the table facade.
 
 See :mod:`repro.storage.base` for the backend contract,
-:mod:`repro.storage.memory` for the seed's flat in-memory store, and
+:mod:`repro.storage.memory` for the seed's flat in-memory store,
 :mod:`repro.storage.sharded` for the time-partitioned sharded store with
 bulk-loaded per-shard indexes, shard-pruned window queries, per-shard
-versioning, and retention eviction.
+versioning, and retention eviction, and :mod:`repro.storage.durable` for the
+write-ahead-logged, snapshot-recovered durable wrapper around it.
 """
 
 from .base import (
@@ -18,11 +19,20 @@ from .base import (
     VersionToken,
     summarise_object_spans,
 )
+from .durable import (
+    DurabilityConfig,
+    DurableRecordStore,
+    SimulatedCrashError,
+    decode_wal_frames,
+    encode_wal_frame,
+)
 from .memory import InMemoryRecordStore
 from .sharded import DEFAULT_SHARD_SECONDS, ShardedRecordStore
 
 __all__ = [
     "DEFAULT_SHARD_SECONDS",
+    "DurabilityConfig",
+    "DurableRecordStore",
     "EvictedRangeError",
     "EvictionEvent",
     "IngestEvent",
@@ -30,9 +40,12 @@ __all__ = [
     "InMemoryRecordStore",
     "RecordStore",
     "STORE_KINDS",
+    "SimulatedCrashError",
     "StoreListener",
     "ShardedRecordStore",
     "VersionToken",
+    "decode_wal_frames",
+    "encode_wal_frame",
     "summarise_object_spans",
 ]
 

@@ -12,7 +12,10 @@ engine) and the storage backends that actually hold the records:
 * :class:`~repro.storage.sharded.ShardedRecordStore` — time-partitioned
   shards, each owning a bulk-loaded time index and its own version, so
   window queries prune to overlapping shards, batch ingestion costs one
-  bulk index build per touched shard, and retention can drop old shards.
+  bulk index build per touched shard, and retention can drop old shards;
+* :class:`~repro.storage.durable.DurableRecordStore` — a sharded store
+  behind a write-ahead log and per-shard snapshots, so a process restart
+  recovers the exact pre-crash state (see :mod:`repro.storage.durable`).
 
 The key protocol addition over the historical ``IUPT`` internals is
 **window-scoped versioning**: :meth:`RecordStore.version_token` describes the
@@ -227,7 +230,13 @@ class RecordStore(ABC):
     # ------------------------------------------------------------------
     @abstractmethod
     def range_query(self, start: float, end: float) -> List[PositioningRecord]:
-        """Records with timestamps in ``[start, end]``, in time order."""
+        """Records with timestamps in ``[start, end]``, in time order.
+
+        Both window endpoints are **inclusive** (the paper's
+        ``RangeQuery([ts, te])``).  Raises :class:`EvictedRangeError` when
+        ``start`` lies strictly below the :attr:`eviction_watermark`; a
+        window starting exactly at the watermark is fully answerable.
+        """
 
     @abstractmethod
     def version_token(
@@ -244,20 +253,45 @@ class RecordStore(ABC):
     # ------------------------------------------------------------------
     # Retention
     # ------------------------------------------------------------------
+    @abstractmethod
     def evict_before(self, timestamp: float) -> int:
-        """Drop whole shards that end at or before ``timestamp``.
+        """Drop old records to enforce retention; returns how many were dropped.
 
-        Returns the number of records dropped.  Backends without a shard
-        structure cannot evict consistently and refuse.
+        **The retention boundary contract** (identical across backends, and
+        exercised by the flat-vs-sharded parity tests in
+        ``tests/test_storage.py``):
+
+        * the cut-off is **exclusive**: only records with
+          ``record.timestamp < timestamp`` may be dropped; a record with
+          ``timestamp == cutoff`` is *always* retained;
+        * a backend may retain *more* than the contract requires — the
+          sharded store only drops whole shards, so records of a partially
+          covered trailing shard survive.  When the cut-off falls exactly on
+          a shard boundary both backends drop exactly the records strictly
+          below it and behave identically;
+        * after an eviction that dropped records, :attr:`eviction_watermark`
+          advances to ``w`` such that every record with ``timestamp < w`` is
+          gone and no record with ``timestamp >= w`` was dropped.  An
+          eviction that dropped nothing leaves the watermark unchanged (so
+          an empty store never grows an artificial dead zone);
+        * window queries treat the watermark as an **inclusive lower bound
+          on queryable time**: ``range_query(start, end)`` raises
+          :class:`EvictedRangeError` exactly when ``start < watermark`` — a
+          window starting *exactly at* the watermark is fully answerable
+          and must not raise (see :func:`check_not_evicted`);
+        * a later ``ingest_batch`` carrying any record with
+          ``timestamp < watermark`` is rejected with :class:`ValueError`:
+          evicted history cannot be refilled.
         """
-        raise NotImplementedError(
-            f"the {self.kind!r} record store does not support retention "
-            "eviction; use a sharded store"
-        )
 
     @property
     def eviction_watermark(self) -> float:
-        """Timestamps strictly below this may have been evicted (``-inf`` if none)."""
+        """Timestamps strictly below this have been evicted (``-inf`` if none).
+
+        Every surviving record satisfies ``timestamp >= eviction_watermark``,
+        and a query window with ``start >= eviction_watermark`` is fully
+        answerable (see the contract on :meth:`evict_before`).
+        """
         return float("-inf")
 
     # ------------------------------------------------------------------
@@ -281,7 +315,13 @@ class RecordStore(ABC):
 
 
 def check_not_evicted(store: RecordStore, start: float, end: float) -> None:
-    """Raise :class:`EvictedRangeError` when ``[start, end]`` reaches evicted data."""
+    """Raise :class:`EvictedRangeError` when ``[start, end]`` reaches evicted data.
+
+    The check is strict (``start < watermark``): the watermark itself is the
+    first queryable instant, so a window starting exactly there never raises —
+    every record at or above the watermark survived eviction (see the
+    boundary contract on :meth:`RecordStore.evict_before`).
+    """
     watermark = store.eviction_watermark
     if start < watermark:
         raise EvictedRangeError(start, end, watermark)

@@ -1,0 +1,808 @@
+"""Durable storage: a write-ahead log and snapshots around the sharded store.
+
+Every layer above the storage backend — the execution engine, continuous
+queries, the network service — assumed the table lives forever; in reality a
+process restart silently lost every ingested record.  This module adds the
+classic persistence design for a time-partitioned store, where the partition
+structure maps one-to-one onto log segments and snapshot files:
+
+* **write-ahead log** — :meth:`DurableRecordStore.ingest_batch` first appends
+  the batch to the log, then applies it to the wrapped in-memory
+  :class:`~repro.storage.sharded.ShardedRecordStore`.  The log is split into
+  **one segment file per time shard** (``wal/segment-<key>.wal``): the batch
+  is sliced exactly the way the sharded store slices it, and each slice
+  becomes one length-prefixed, CRC-checked frame in its shard's segment.  A
+  batch spanning several shards is made atomic by a **commit record** in the
+  control log (``control.wal``): recovery replays only frames whose batch
+  sequence number was committed, so a crash mid-batch rolls the whole batch
+  back instead of resurrecting half of it;
+* **fsync policy** — :class:`DurabilityConfig` picks the durability/latency
+  trade-off: ``"always"`` fsyncs every segment append and every commit
+  (survives OS crashes), ``"batch"`` fsyncs only the commit record (survives
+  process crashes; the default), ``"never"`` leaves flushing to the OS
+  (fastest; survives clean exits).  ``benchmarks/test_bench_durable.py``
+  measures the cost of each;
+* **snapshots** — :meth:`DurableRecordStore.checkpoint` writes each dirty
+  shard's records *and version* to ``snapshots/shard-<key>.snap``
+  (atomically, via a temp file and ``os.replace``), then deletes the shard's
+  now-redundant segment and compacts the control log, so recovery loads the
+  snapshot and replays only the frames appended after it.
+  ``DurabilityConfig.snapshot_every_batches`` checkpoints automatically;
+* **eviction** — :meth:`DurableRecordStore.evict_before` first persists a
+  watermark record (the logical commit of the eviction), then drops the
+  shards in memory and deletes their segment and snapshot files.  A crash
+  between those steps only leaves files that recovery discards, because the
+  watermark already says their history is gone;
+* **recovery** — constructing a :class:`DurableRecordStore` over an existing
+  directory rebuilds the exact pre-crash state: per-shard records in the
+  same order, the same per-shard versions (so
+  :meth:`~repro.storage.base.RecordStore.version_token` values compare equal
+  to pre-crash tokens), and the same retention watermark.  Torn frames at a
+  file tail (a crash mid-write) are detected by the length/CRC framing and
+  truncated away.  The differential crash-recovery harness in
+  ``tests/test_durable.py`` kills the store at arbitrary WAL frame
+  boundaries (via :attr:`DurabilityConfig.fail_after_writes`) and asserts
+  the recovered store is bit-identical to an in-memory oracle that applied
+  exactly the committed batches.
+
+Everything is standard-library only (``json``, ``struct``, ``zlib``, ``os``);
+float timestamps and probabilities round-trip bit-exactly through the JSON
+payloads (``repr`` ↔ ``float``), the same guarantee the wire protocol relies
+on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import struct
+import uuid
+import zlib
+from dataclasses import dataclass
+from typing import (
+    BinaryIO,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..data.records import PositioningRecord, Sample, SampleSet
+from .base import IngestReceipt, RecordStore, StoreListener, VersionToken
+from .sharded import DEFAULT_SHARD_SECONDS, ShardedRecordStore
+
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+CONTROL_NAME = "control.wal"
+WAL_DIR_NAME = "wal"
+SNAPSHOT_DIR_NAME = "snapshots"
+SUBSCRIPTIONS_NAME = "subscriptions.json"
+
+FSYNC_KINDS = ("always", "batch", "never")
+
+#: Frame header: payload byte length + CRC32 of the payload, big-endian.
+_FRAME_HEADER = struct.Struct(">II")
+
+
+class SimulatedCrashError(RuntimeError):
+    """The store hit its injected fault point and 'crashed'.
+
+    Raised by every subsequent operation too: a crashed store is dead until
+    a new :class:`DurableRecordStore` recovers its directory.
+    """
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Durability/latency knobs of one :class:`DurableRecordStore`.
+
+    ``fsync``
+        ``"always"``: fsync every segment append and every control-log
+        record — an ingest survives an OS crash once it returned.
+        ``"batch"`` (default): fsync only the control log's commit record —
+        survives process crashes, and orders the commit after its data
+        frames on the way to disk.  ``"never"``: flush to the OS but never
+        fsync — fastest, survives clean process exits.
+    ``snapshot_every_batches``
+        Automatic checkpoint cadence (``None`` = only explicit
+        :meth:`DurableRecordStore.checkpoint` calls).  Frequent snapshots
+        shorten recovery (less WAL replay) at the cost of ingest-path
+        pauses; the durable benchmark quantifies the trade-off.
+    ``checkpoint_on_recover``
+        Checkpoint immediately after a non-empty recovery (default): the
+        directory is left canonical — snapshots only, no segments, a
+        compacted control log — so the *next* recovery does no replay at
+        all and crash garbage (uncommitted frames) is purged.
+    ``fail_after_writes``
+        Fault injection for the crash-recovery harness: the store performs
+        exactly this many WAL file operations (frame appends, snapshot
+        writes, file deletions), then raises :class:`SimulatedCrashError`
+        immediately *before* the next one — i.e. it dies at a frame
+        boundary, leaving whole frames on disk.  ``None`` disables.
+    """
+
+    fsync: str = "batch"
+    snapshot_every_batches: Optional[int] = None
+    checkpoint_on_recover: bool = True
+    fail_after_writes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.fsync not in FSYNC_KINDS:
+            raise ValueError(
+                f"unknown fsync policy {self.fsync!r}; expected one of {FSYNC_KINDS}"
+            )
+        if self.snapshot_every_batches is not None and self.snapshot_every_batches < 1:
+            raise ValueError("snapshot_every_batches must be at least 1 (or None)")
+        if self.fail_after_writes is not None and self.fail_after_writes < 0:
+            raise ValueError("fail_after_writes must be non-negative (or None)")
+
+
+# ----------------------------------------------------------------------
+# WAL framing
+# ----------------------------------------------------------------------
+def encode_wal_frame(payload: Mapping[str, object]) -> bytes:
+    """One log frame: ``>II`` (length, CRC32) header + compact JSON body."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return _FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def decode_wal_frames(data: bytes) -> Tuple[List[dict], int]:
+    """Parse ``data`` into frames; returns ``(frames, valid_byte_length)``.
+
+    Stops at the first torn or corrupt tail — a truncated header, a body
+    shorter than its declared length, a CRC mismatch, or an undecodable
+    body — and reports how many bytes of clean prefix precede it, so the
+    caller can truncate the file back to a frame boundary.
+    """
+    frames: List[dict] = []
+    offset = 0
+    size = len(data)
+    while offset + _FRAME_HEADER.size <= size:
+        length, crc = _FRAME_HEADER.unpack_from(data, offset)
+        start = offset + _FRAME_HEADER.size
+        end = start + length
+        if end > size:
+            break
+        body = data[start:end]
+        if zlib.crc32(body) != crc:
+            break
+        try:
+            frame = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        if not isinstance(frame, dict):
+            break
+        frames.append(frame)
+        offset = end
+    return frames, offset
+
+
+# ----------------------------------------------------------------------
+# Record payloads
+# ----------------------------------------------------------------------
+def record_to_payload(record: PositioningRecord) -> List[object]:
+    """``[object_id, timestamp, [[ploc, prob], ...]]`` — bit-exact floats."""
+    return [
+        record.object_id,
+        record.timestamp,
+        [[sample.ploc_id, sample.prob] for sample in record.sample_set],
+    ]
+
+
+def record_from_payload(payload: Sequence[object]) -> PositioningRecord:
+    object_id, timestamp, samples = payload
+    sample_set = SampleSet(
+        Sample(int(ploc_id), float(prob)) for ploc_id, prob in samples
+    )
+    return PositioningRecord(int(object_id), sample_set, float(timestamp))
+
+
+class DurableRecordStore(RecordStore):
+    """A :class:`~repro.storage.sharded.ShardedRecordStore` that survives
+    restarts.
+
+    Pass a fresh directory to create a new table, or an existing one to
+    recover it — the persisted manifest then decides ``shard_seconds`` and
+    ``index_kind`` (the constructor arguments only seed a brand-new store).
+    All query/introspection calls delegate to the wrapped in-memory store;
+    mutations are logged first, applied second (see the module docstring).
+
+    The wrapper shares the inner store's re-entrant lock, so the continuous
+    query engine and the service keep the exact locking discipline they use
+    with volatile stores.
+    """
+
+    kind = "durable"
+
+    def __init__(
+        self,
+        directory: "os.PathLike[str] | str",
+        shard_seconds: float = DEFAULT_SHARD_SECONDS,
+        index_kind: str = "1dr-tree",
+        config: Optional[DurabilityConfig] = None,
+    ):
+        super().__init__()
+        self.config = config or DurabilityConfig()
+        self._dir = pathlib.Path(directory)
+        self._wal_dir = self._dir / WAL_DIR_NAME
+        self._snap_dir = self._dir / SNAPSHOT_DIR_NAME
+        self._writes_done = 0
+        self._crashed = False
+        self._closed = False
+        self._segment_handles: Dict[int, BinaryIO] = {}
+        self._control_handle: Optional[BinaryIO] = None
+        self._next_seq = 1
+        #: Per shard: the last committed batch sequence applied to it.
+        self._shard_last_seq: Dict[int, int] = {}
+        #: Per shard: the version its current snapshot file holds (0 = none).
+        self._snapshotted_version: Dict[int, int] = {}
+        self._batches_since_snapshot = 0
+        manifest = self._load_or_create_manifest(float(shard_seconds), index_kind)
+        self._uid = manifest["uid"]
+        self._inner = ShardedRecordStore(
+            shard_seconds=manifest["shard_seconds"],
+            index_kind=manifest["index_kind"],
+        )
+        self._inner.restore_identity(self._uid)
+        # One shared lock for wrapper, inner store and every layer above.
+        self._lock = self._inner.lock
+        self.recovery_report: Dict[str, object] = {}
+        self._recover()
+        if self.config.checkpoint_on_recover and self.recovery_report.get(
+            "segments_seen", 0
+        ):
+            # Leave the directory canonical (snapshots only, compacted
+            # control log): the next recovery replays nothing, and crash
+            # garbage — uncommitted or already-compacted frames — is purged.
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def _load_or_create_manifest(
+        self, shard_seconds: float, index_kind: str
+    ) -> dict:
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._wal_dir.mkdir(exist_ok=True)
+        self._snap_dir.mkdir(exist_ok=True)
+        path = self._dir / MANIFEST_NAME
+        if path.exists():
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+            if manifest.get("format") != FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported durable-store format {manifest.get('format')!r} "
+                    f"in {path} (this build reads format {FORMAT_VERSION})"
+                )
+            return manifest
+        manifest = {
+            "format": FORMAT_VERSION,
+            "uid": f"durable-{uuid.uuid4().hex[:16]}",
+            "shard_seconds": shard_seconds,
+            "index_kind": index_kind,
+        }
+        self._atomic_write(path, json.dumps(manifest, indent=2).encode("utf-8"))
+        return manifest
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        committed, watermark, base_next, torn = self._read_control_log()
+        snapshots = self._read_snapshots()
+        segments, max_seq, torn_segments = self._read_segments()
+        torn += torn_segments
+
+        replayed = 0
+        skipped_uncommitted = 0
+        loaded_from_snapshot = 0
+        max_through = 0
+        shard_seconds = self._inner.shard_seconds
+        for key in sorted(set(snapshots) | set(segments)):
+            if (key + 1) * shard_seconds <= watermark:
+                # The eviction was committed (watermark record) but the crash
+                # interrupted the file deletions: finish them now.
+                self._remove_segment(key, count_write=False)
+                self._remove_snapshot(key, count_write=False)
+                continue
+            snapshot = snapshots.get(key)
+            if snapshot is not None:
+                records = [record_from_payload(p) for p in snapshot["records"]]
+                version = int(snapshot["version"])
+                through = int(snapshot["through"])
+                loaded_from_snapshot += 1
+            else:
+                records, version, through = [], 0, 0
+            applied_frames = 0
+            for frame in segments.get(key, ()):
+                seq = int(frame["seq"])
+                if seq <= through:
+                    continue  # already folded into the snapshot
+                if seq not in committed:
+                    skipped_uncommitted += 1
+                    continue
+                records.extend(
+                    record_from_payload(p) for p in frame["records"]
+                )
+                version += 1
+                through = seq
+                replayed += 1
+                applied_frames += 1
+            if applied_frames:
+                # One stable sort replays every _Shard.absorb bit-exactly:
+                # absorb extend+sorts per frame, but stable sorting the
+                # concatenation of already-sorted runs once yields the same
+                # tie order (slices arrive in commit order, each internally
+                # time-sorted) at a fraction of the recovery cost.
+                records.sort(key=lambda record: record.timestamp)
+            if version > 0:
+                self._inner.load_shard(key, records, version)
+            self._shard_last_seq[key] = through
+            self._snapshotted_version[key] = (
+                int(snapshot["version"]) if snapshot is not None else 0
+            )
+            max_through = max(max_through, through)
+        if watermark > float("-inf"):
+            self._inner.restore_watermark(watermark)
+        # The sequence counter must clear every sequence any surviving file
+        # knows about.  Snapshot "through" values matter independently of the
+        # other two sources: a crash during checkpoint can land after the
+        # segments were deleted but before the compacted base record was
+        # written, leaving the snapshots as the only witnesses of the highest
+        # committed sequence — resuming below it would reuse sequence numbers
+        # that a later recovery then skips as already-compacted (data loss).
+        self._next_seq = max(base_next, max_seq + 1, max_through + 1)
+        self.recovery_report = {
+            "shards": self._inner.shard_count,
+            "records": len(self._inner),
+            "shards_from_snapshot": loaded_from_snapshot,
+            "segments_seen": sum(1 for frames in segments.values() if frames),
+            "frames_replayed": replayed,
+            "frames_skipped_uncommitted": skipped_uncommitted,
+            "torn_tails_truncated": torn,
+            "watermark": watermark,
+        }
+
+    def _read_control_log(self) -> Tuple[Set[int], float, int, int]:
+        path = self._dir / CONTROL_NAME
+        committed: Set[int] = set()
+        watermark = float("-inf")
+        base_next = 1
+        torn = 0
+        if not path.exists():
+            return committed, watermark, base_next, torn
+        data = path.read_bytes()
+        frames, valid = decode_wal_frames(data)
+        if valid < len(data):
+            self._truncate_file(path, valid)
+            torn = 1
+        for frame in frames:
+            record_kind = frame.get("kind")
+            if record_kind == "commit":
+                committed.add(int(frame["seq"]))
+            elif record_kind == "watermark":
+                watermark = max(watermark, float(frame["watermark"]))
+            elif record_kind == "base":
+                base_next = max(base_next, int(frame["next_seq"]))
+                if frame.get("watermark") is not None:
+                    watermark = max(watermark, float(frame["watermark"]))
+        return committed, watermark, base_next, torn
+
+    def _read_snapshots(self) -> Dict[int, dict]:
+        snapshots: Dict[int, dict] = {}
+        for path in sorted(self._snap_dir.glob("shard-*.snap")):
+            frames, _valid = decode_wal_frames(path.read_bytes())
+            if not frames:
+                continue  # corrupt snapshot: fall back to pure WAL replay
+            payload = frames[0]
+            snapshots[int(payload["shard"])] = payload
+        return snapshots
+
+    def _read_segments(self) -> Tuple[Dict[int, List[dict]], int, int]:
+        segments: Dict[int, List[dict]] = {}
+        max_seq = 0
+        torn = 0
+        for path in sorted(self._wal_dir.glob("segment-*.wal")):
+            key = int(path.stem.split("-", 1)[1])
+            data = path.read_bytes()
+            frames, valid = decode_wal_frames(data)
+            if valid < len(data):
+                self._truncate_file(path, valid)
+                torn += 1
+            segments[key] = frames
+            for frame in frames:
+                max_seq = max(max_seq, int(frame["seq"]))
+        return segments, max_seq, torn
+
+    @staticmethod
+    def _truncate_file(path: pathlib.Path, length: int) -> None:
+        with open(path, "r+b") as handle:
+            handle.truncate(length)
+
+    # ------------------------------------------------------------------
+    # Fault injection and file plumbing
+    # ------------------------------------------------------------------
+    def _fault_point(self) -> None:
+        """Crash (once) when the injected write budget is exhausted.
+
+        Called immediately before every WAL file operation, so a simulated
+        crash always lands exactly on a frame boundary — whole frames are
+        on disk, the next one never started.
+        """
+        if self._crashed:
+            raise SimulatedCrashError("the store already crashed")
+        limit = self.config.fail_after_writes
+        if limit is not None and self._writes_done >= limit:
+            self._crashed = True
+            raise SimulatedCrashError(
+                f"simulated crash after {self._writes_done} WAL writes"
+            )
+        self._writes_done += 1
+
+    def _ensure_usable(self) -> None:
+        if self._crashed:
+            raise SimulatedCrashError("the store crashed; recover its directory")
+        if self._closed:
+            raise ValueError("the durable store is closed")
+
+    def _segment_path(self, key: int) -> pathlib.Path:
+        return self._wal_dir / f"segment-{key}.wal"
+
+    def _snapshot_path(self, key: int) -> pathlib.Path:
+        return self._snap_dir / f"shard-{key}.snap"
+
+    @staticmethod
+    def _fsync_dir(path: pathlib.Path) -> None:
+        """Persist a directory entry (file creation / rename) itself.
+
+        fsyncing a file's contents does not persist its *name*: after a
+        power failure a freshly created segment (or a replaced snapshot) can
+        vanish from the directory even though its bytes were synced.  Best
+        effort — platforms without directory fds just skip it.
+        """
+        try:
+            fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _segment_handle(self, key: int) -> BinaryIO:
+        handle = self._segment_handles.get(key)
+        if handle is None:
+            path = self._segment_path(key)
+            created = not path.exists()
+            handle = open(path, "ab")
+            self._segment_handles[key] = handle
+            if created and self.config.fsync == "always":
+                # The "survives OS crashes" promise covers the directory
+                # entry of a brand-new segment too.
+                self._fsync_dir(self._wal_dir)
+        return handle
+
+    def _append_segment_frame(self, key: int, payload: Mapping[str, object]) -> None:
+        self._fault_point()
+        handle = self._segment_handle(key)
+        handle.write(encode_wal_frame(payload))
+        handle.flush()
+        if self.config.fsync == "always":
+            os.fsync(handle.fileno())
+
+    def _append_control_frame(
+        self, payload: Mapping[str, object], fsync: bool
+    ) -> None:
+        self._fault_point()
+        if self._control_handle is None:
+            path = self._dir / CONTROL_NAME
+            created = not path.exists()
+            self._control_handle = open(path, "ab")
+            if created and self.config.fsync == "always":
+                self._fsync_dir(self._dir)
+        self._control_handle.write(encode_wal_frame(payload))
+        self._control_handle.flush()
+        if fsync:
+            os.fsync(self._control_handle.fileno())
+
+    def _atomic_write(self, path: pathlib.Path, data: bytes) -> None:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if self.config.fsync != "never":
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        if self.config.fsync != "never":
+            # The rename itself must survive an OS crash, or recovery can
+            # see the pre-replace file (or none at all).
+            self._fsync_dir(path.parent)
+
+    def _remove_segment(self, key: int, count_write: bool = True) -> None:
+        handle = self._segment_handles.pop(key, None)
+        if handle is not None:
+            handle.close()
+        path = self._segment_path(key)
+        if path.exists():
+            if count_write:
+                self._fault_point()
+            path.unlink()
+
+    def _remove_snapshot(self, key: int, count_write: bool = True) -> None:
+        path = self._snapshot_path(key)
+        if path.exists():
+            if count_write:
+                self._fault_point()
+            path.unlink()
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def append(self, record: PositioningRecord) -> None:
+        self.ingest_batch((record,))
+
+    def ingest_batch(self, records: Iterable[PositioningRecord]) -> IngestReceipt:
+        batch = sorted(records, key=lambda record: record.timestamp)
+        if not batch:
+            # Empty-batch parity: no lock, no WAL growth, no version bump.
+            return IngestReceipt()
+        with self._lock:
+            self._ensure_usable()
+            if batch[0].timestamp < self._inner.eviction_watermark:
+                # Reject before logging: a doomed batch must leave no frames.
+                raise ValueError(
+                    f"batch contains records before the retention watermark "
+                    f"t={self._inner.eviction_watermark}; evicted shards "
+                    f"cannot be refilled"
+                )
+            # Reserve the sequence number BEFORE touching any file: if an
+            # append fails with a real I/O error (disk full, EIO) the store
+            # object stays alive but this sequence is burned — a later batch
+            # must never reuse it, or the aborted batch's orphan frames
+            # would ride the new batch's commit record into recovery.
+            seq = self._next_seq
+            self._next_seq = seq + 1
+            # The inner store's slicer is the single source of truth for how
+            # a batch maps onto shards: the WAL frames mirror it exactly.
+            slices = self._inner.slice_batch(batch)
+            for key, slice_records in slices:
+                self._append_segment_frame(
+                    key,
+                    {
+                        "seq": seq,
+                        "records": [record_to_payload(r) for r in slice_records],
+                    },
+                )
+            # The commit record makes the whole multi-shard batch atomic:
+            # recovery ignores every frame of an uncommitted sequence.
+            self._append_control_frame(
+                {"kind": "commit", "seq": seq},
+                fsync=self.config.fsync in ("always", "batch"),
+            )
+            receipt = self._inner.ingest_batch(batch)
+            for key, _slice in slices:
+                self._shard_last_seq[key] = seq
+            self._batches_since_snapshot += 1
+            cadence = self.config.snapshot_every_batches
+            if cadence is not None and self._batches_since_snapshot >= cadence:
+                self._checkpoint_locked()
+            return receipt
+
+    # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict[str, int]:
+        """Snapshot dirty shards, drop their segments, compact the control log.
+
+        After a checkpoint the directory holds one snapshot per shard and an
+        (almost) empty control log — recovery cost becomes proportional to
+        table size, not to ingestion history.  Returns a small summary dict.
+        """
+        with self._lock:
+            self._ensure_usable()
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> Dict[str, int]:
+        snapshots_written = 0
+        versions = self._inner.shard_versions()
+        dirty = [
+            key
+            for key, version in versions.items()
+            if self._snapshotted_version.get(key, 0) != version
+        ]
+        # Only the dirty shards' records are copied out of the inner store:
+        # checkpoint cost is proportional to what changed, not table size.
+        for key, version, records in self._inner.shard_states(dirty):
+            payload = {
+                "shard": key,
+                "version": version,
+                "through": self._shard_last_seq.get(key, 0),
+                "records": [record_to_payload(r) for r in records],
+            }
+            self._fault_point()
+            self._atomic_write(self._snapshot_path(key), encode_wal_frame(payload))
+            self._snapshotted_version[key] = version
+            snapshots_written += 1
+        # Every committed frame is folded into a snapshot now; uncommitted
+        # ones are dead.  Drop every segment — including orphans whose only
+        # frames were uncommitted crash garbage (their shard never loaded),
+        # or every future recovery re-sees them and re-runs this checkpoint.
+        for path in list(self._wal_dir.glob("segment-*.wal")):
+            self._remove_segment(int(path.stem.split("-", 1)[1]))
+        self._rewrite_control_log()
+        self._batches_since_snapshot = 0
+        return {
+            "snapshots_written": snapshots_written,
+            "shards": self._inner.shard_count,
+            "records": len(self._inner),
+        }
+
+    def _rewrite_control_log(self) -> None:
+        watermark = self._inner.eviction_watermark
+        base = {
+            "kind": "base",
+            "next_seq": self._next_seq,
+            "watermark": watermark if watermark > float("-inf") else None,
+        }
+        if self._control_handle is not None:
+            self._control_handle.close()
+            self._control_handle = None
+        self._fault_point()
+        self._atomic_write(self._dir / CONTROL_NAME, encode_wal_frame(base))
+
+    # ------------------------------------------------------------------
+    # Queries (pure delegation)
+    # ------------------------------------------------------------------
+    def range_query(self, start: float, end: float) -> List[PositioningRecord]:
+        return self._inner.range_query(start, end)
+
+    def version_token(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> VersionToken:
+        return self._inner.version_token(start, end)
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def evict_before(self, timestamp: float) -> int:
+        """Evict whole shards and delete their log segments and snapshots.
+
+        Ordering is the durability invariant: the watermark record is
+        persisted *first* (the eviction's logical commit), then the shards
+        are dropped in memory and their files deleted.  A crash in between
+        leaves orphan files below the committed watermark, which recovery
+        discards and deletes.
+        """
+        with self._lock:
+            self._ensure_usable()
+            shard_seconds = self._inner.shard_seconds
+            doomed = [
+                key
+                for key in self._inner.shard_versions()
+                if (key + 1) * shard_seconds <= timestamp
+            ]
+            if not doomed:
+                return self._inner.evict_before(timestamp)  # 0, no event
+            new_watermark = max((key + 1) * shard_seconds for key in doomed)
+            self._append_control_frame(
+                {"kind": "watermark", "watermark": new_watermark},
+                fsync=self.config.fsync in ("always", "batch"),
+            )
+            dropped = self._inner.evict_before(timestamp)
+            for key in doomed:
+                self._remove_segment(key)
+                self._remove_snapshot(key)
+                self._shard_last_seq.pop(key, None)
+                self._snapshotted_version.pop(key, None)
+            return dropped
+
+    @property
+    def eviction_watermark(self) -> float:
+        return self._inner.eviction_watermark
+
+    # ------------------------------------------------------------------
+    # Subscriptions (delegated: events fire on the inner store's mutations)
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: StoreListener) -> int:
+        return self._inner.subscribe(listener)
+
+    def unsubscribe(self, token: int) -> bool:
+        return self._inner.unsubscribe(token)
+
+    @property
+    def listener_count(self) -> int:
+        return self._inner.listener_count
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Flush and fsync every open log handle (drain/shutdown hook)."""
+        with self._lock:
+            handles = list(self._segment_handles.values())
+            if self._control_handle is not None:
+                handles.append(self._control_handle)
+            for handle in handles:
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        """Flush and close the log handles; further mutations raise."""
+        with self._lock:
+            if self._closed:
+                return
+            if not self._crashed:
+                self.flush()
+            for handle in self._segment_handles.values():
+                handle.close()
+            self._segment_handles.clear()
+            if self._control_handle is not None:
+                self._control_handle.close()
+                self._control_handle = None
+            self._closed = True
+
+    def __enter__(self) -> "DurableRecordStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> pathlib.Path:
+        return self._dir
+
+    @property
+    def subscription_manifest_path(self) -> pathlib.Path:
+        """Where the continuous-query engine persists standing queries."""
+        return self._dir / SUBSCRIPTIONS_NAME
+
+    @property
+    def inner(self) -> ShardedRecordStore:
+        """The wrapped in-memory sharded store (read-only use)."""
+        return self._inner
+
+    @property
+    def index_kind(self) -> str:
+        return self._inner.index_kind
+
+    @property
+    def shard_seconds(self) -> float:
+        return self._inner.shard_seconds
+
+    @property
+    def shard_count(self) -> int:
+        return self._inner.shard_count
+
+    def shard_versions(self) -> Dict[int, int]:
+        return self._inner.shard_versions()
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def records_in_time_order(self) -> Sequence[PositioningRecord]:
+        return self._inner.records_in_time_order()
+
+    def time_span(self) -> Tuple[float, float]:
+        return self._inner.time_span()
+
+    def describe(self) -> dict:
+        summary = self._inner.describe()
+        summary.update(
+            {
+                "kind": self.kind,
+                "directory": str(self._dir),
+                "fsync": self.config.fsync,
+                "snapshot_every_batches": self.config.snapshot_every_batches,
+                "next_seq": self._next_seq,
+                "recovery": dict(self.recovery_report),
+            }
+        )
+        return summary

@@ -17,11 +17,13 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from ..data.records import PositioningRecord
 from ..indexes import BPlusTree, OneDimensionalRTree
 from .base import (
+    EvictionEvent,
     IngestEvent,
     IngestReceipt,
     RecordStore,
     STORE_UIDS,
     VersionToken,
+    check_not_evicted,
     summarise_object_spans,
 )
 
@@ -56,6 +58,7 @@ class InMemoryRecordStore(RecordStore):
         self._bptree: BPlusTree[PositioningRecord] = BPlusTree()
         self._uid = next(STORE_UIDS)
         self._version = 0
+        self._watermark = float("-inf")
 
     @property
     def index_kind(self) -> str:
@@ -73,19 +76,27 @@ class InMemoryRecordStore(RecordStore):
         self.ingest_batch((record,))
 
     def ingest_batch(self, records: Iterable[PositioningRecord]) -> IngestReceipt:
+        batch = list(records)
+        if not batch:
+            # Empty-batch parity with the sharded store: no lock, no version
+            # bump, no listener events — an empty flush is a no-op everywhere.
+            return IngestReceipt()
         with self._lock:
-            batch = list(records)
+            earliest = min(record.timestamp for record in batch)
+            if earliest < self._watermark:
+                raise ValueError(
+                    f"batch contains records before the retention watermark "
+                    f"t={self._watermark}; evicted history cannot be refilled"
+                )
             for record in batch:
                 self._insert(record)
-            if batch:
-                self._version += 1
+            self._version += 1
             receipt = IngestReceipt(
                 records_ingested=len(batch),
-                shards_touched=(WHOLE_TABLE,) if batch else (),
+                shards_touched=(WHOLE_TABLE,),
                 object_spans=summarise_object_spans(batch),
             )
-            if batch:
-                self._notify(IngestEvent(receipt))
+            self._notify(IngestEvent(receipt))
             return receipt
 
     # ------------------------------------------------------------------
@@ -93,6 +104,7 @@ class InMemoryRecordStore(RecordStore):
     # ------------------------------------------------------------------
     def range_query(self, start: float, end: float) -> List[PositioningRecord]:
         with self._lock:
+            check_not_evicted(self, start, end)
             if self._index_kind == "1dr-tree":
                 return self._rtree.range_query(start, end)
             return self._bptree.range_query(start, end)
@@ -104,6 +116,39 @@ class InMemoryRecordStore(RecordStore):
         # cannot tell which part of the table an ingestion touched.
         with self._lock:
             return (self._uid, self._version)
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def evict_before(self, timestamp: float) -> int:
+        """Drop every record with ``timestamp`` strictly below the cut-off.
+
+        The flat store has no shard structure, so it can honour the
+        exclusive-cutoff contract exactly: a record at ``timestamp ==
+        cutoff`` always survives, and — matching a sharded store whose shard
+        boundary falls exactly on the cut-off — the watermark advances to
+        the cut-off itself when anything was dropped.  Both whole-table
+        indexes are bulk-rebuilt from the surviving records (preserving
+        arrival order on timestamp ties), and the table version bumps so
+        cached artefacts derived from evicted history die with it.
+        """
+        with self._lock:
+            kept_arrival = [r for r in self._records if r.timestamp >= timestamp]
+            dropped = len(self._records) - len(kept_arrival)
+            if dropped == 0:
+                return 0
+            self._records = kept_arrival
+            pairs = [(ts, record) for ts, record in self._rtree if ts >= timestamp]
+            self._rtree = OneDimensionalRTree.from_sorted(pairs)
+            self._bptree = BPlusTree.bulk_load(pairs)
+            self._watermark = max(self._watermark, float(timestamp))
+            self._version += 1
+            self._notify(EvictionEvent(self._watermark, dropped))
+            return dropped
+
+    @property
+    def eviction_watermark(self) -> float:
+        return self._watermark
 
     # ------------------------------------------------------------------
     # Introspection
@@ -134,4 +179,5 @@ class InMemoryRecordStore(RecordStore):
         summary = super().describe()
         summary["index_kind"] = self._index_kind
         summary["version"] = self._version
+        summary["eviction_watermark"] = self._watermark
         return summary

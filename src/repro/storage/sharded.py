@@ -141,6 +141,27 @@ class ShardedRecordStore(RecordStore):
     def append(self, record: PositioningRecord) -> None:
         self.ingest_batch((record,))
 
+    def slice_batch(
+        self, batch: Sequence[PositioningRecord]
+    ) -> List[Tuple[int, List[PositioningRecord]]]:
+        """Slice a time-sorted batch into per-shard ``(key, records)`` runs.
+
+        The single source of truth for how a batch maps onto shards: both
+        this store's ingest path and the durable layer's WAL writer slice
+        through here, so the logged frames can never diverge from the
+        in-memory shards.
+        """
+        slices: List[Tuple[int, List[PositioningRecord]]] = []
+        start = 0
+        while start < len(batch):
+            key = self.shard_key(batch[start].timestamp)
+            stop = start
+            while stop < len(batch) and self.shard_key(batch[stop].timestamp) == key:
+                stop += 1
+            slices.append((key, list(batch[start:stop])))
+            start = stop
+        return slices
+
     def ingest_batch(self, records: Iterable[PositioningRecord]) -> IngestReceipt:
         batch = sorted(records, key=lambda record: record.timestamp)
         if not batch:
@@ -153,22 +174,16 @@ class ShardedRecordStore(RecordStore):
                 )
 
             touched: List[int] = []
-            start = 0
-            while start < len(batch):
-                key = self.shard_key(batch[start].timestamp)
-                stop = start
-                while stop < len(batch) and self.shard_key(batch[stop].timestamp) == key:
-                    stop += 1
+            for key, slice_records in self.slice_batch(batch):
                 shard = self._shards.get(key)
                 if shard is None:
                     shard = _Shard(key=key)
                     self._shards[key] = shard
                     insert_at = bisect_left(self._shard_keys, key)
                     self._shard_keys.insert(insert_at, key)
-                shard.absorb(batch[start:stop])
+                shard.absorb(slice_records)
                 touched.append(key)
-                self._count += stop - start
-                start = stop
+                self._count += len(slice_records)
 
             receipt = IngestReceipt(
                 records_ingested=len(batch),
@@ -290,6 +305,70 @@ class ShardedRecordStore(RecordStore):
         """``shard key -> version`` snapshot (diagnostics and tests)."""
         with self._lock:
             return {key: self._shards[key].version for key in self._shard_keys}
+
+    def shard_states(
+        self, keys: Optional[Iterable[int]] = None
+    ) -> List[Tuple[int, int, Tuple[PositioningRecord, ...]]]:
+        """``(key, version, records)`` per shard in key order.
+
+        The durable layer snapshots shards through this accessor; the record
+        tuples are copies, safe to serialise outside the lock.  Pass ``keys``
+        to copy only the named shards (a checkpoint only needs the dirty
+        ones — copying the whole table under the lock would stall readers
+        for no reason); unknown keys are ignored.
+        """
+        with self._lock:
+            if keys is None:
+                selected = self._shard_keys
+            else:
+                wanted = set(keys)
+                selected = [key for key in self._shard_keys if key in wanted]
+            return [
+                (key, self._shards[key].version, tuple(self._shards[key].records))
+                for key in selected
+            ]
+
+    # ------------------------------------------------------------------
+    # Recovery hooks (durable layer only)
+    # ------------------------------------------------------------------
+    def load_shard(
+        self, key: int, records: Sequence[PositioningRecord], version: int
+    ) -> None:
+        """Install one shard's persisted state verbatim (no events, no bumps).
+
+        Recovery-only: ``records`` must already be in time order with
+        arrival-order ties, exactly as :meth:`shard_states` reported them,
+        and ``version`` is restored as-is so recovered
+        :meth:`version_token` values reproduce the pre-crash tokens.
+        """
+        if version < 1:
+            raise ValueError("a restored shard's version must be at least 1")
+        with self._lock:
+            if key in self._shards:
+                raise ValueError(f"shard {key} is already loaded")
+            shard = _Shard(key=key, records=list(records), version=version)
+            self._shards[key] = shard
+            insert_at = bisect_left(self._shard_keys, key)
+            self._shard_keys.insert(insert_at, key)
+            self._count += len(shard.records)
+
+    def restore_identity(self, uid: object) -> None:
+        """Adopt a persisted store identity (recovery-only).
+
+        Version tokens embed the store uid; a durable store recovered from
+        the same directory IS the same logical store, so its tokens must
+        compare equal to the pre-crash ones when the data matches.  The
+        persisted uid is a string, so it can never collide with the integer
+        uids the in-process :data:`~repro.storage.base.STORE_UIDS` counter
+        hands to volatile stores.
+        """
+        with self._lock:
+            self._uid = uid
+
+    def restore_watermark(self, watermark: float) -> None:
+        """Adopt a persisted retention watermark (recovery-only)."""
+        with self._lock:
+            self._watermark = max(self._watermark, watermark)
 
     def describe(self) -> dict:
         summary = super().describe()

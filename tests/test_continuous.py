@@ -571,3 +571,47 @@ class TestConcurrentIngest:
             nonzero += _check_subscription(engine, iupt, kind, sub)
         assert nonzero > 0, "concurrency test produced only zero flows (vacuous)"
         continuous.close()
+
+
+class TestConcurrentRegistration:
+    def test_concurrent_registrations_mint_unique_subscription_ids(self):
+        """Regression: ids were read OUTSIDE the lock before admission, so
+        two worker threads registering at once could mint the same sub_id —
+        one standing query silently replaced the other, and the durable
+        manifest/resume path keys on exactly these ids."""
+        import threading
+
+        graph, matrix, plocs, slocs = _small_space()
+        engine = QueryEngine(graph, matrix)
+        iupt = _make_table("sharded")
+        for batch in _batches(_stream(3, plocs, objects=4, count=40)):
+            if batch:
+                iupt.ingest_batch(batch)
+        continuous = engine.continuous(iupt)
+
+        registered = []
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def register(worker: int) -> None:
+            try:
+                barrier.wait(timeout=10.0)
+                for _ in range(5):
+                    registered.append(
+                        continuous.register_top_k(slocs, k=2, start=0.0, end=SPAN)
+                    )
+            except Exception as error:  # noqa: BLE001 - reported via the list
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=register, args=(worker,)) for worker in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        ids = [subscription.sub_id for subscription in registered]
+        assert len(set(ids)) == len(ids) == 40
+        assert len(continuous.subscriptions) == 40  # nothing was replaced
+        continuous.close()

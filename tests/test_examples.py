@@ -74,6 +74,15 @@ def test_query_server_runs_and_pushes_over_the_wire(capsys):
     assert "service drained and stopped" in output
 
 
+def test_durable_restart_runs_and_recovers_bit_identically(capsys):
+    output = _run_example("durable_restart.py", capsys)
+    assert "logged shards" in output
+    assert "WAL frames replayed" in output
+    assert "recovered top-3 is bit-identical" in output
+    assert "survived the second restart" in output
+    assert "query below the watermark still fails loudly" in output
+
+
 def test_examples_directory_contains_at_least_three_scripts():
     scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
     assert len(scripts) >= 3

@@ -685,3 +685,163 @@ class TestServerIntegration:
             await service.stop()
 
         asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Frame-size boundary contract (MAX_FRAME_BYTES is inclusive, newline excl.)
+# ----------------------------------------------------------------------
+class TestFrameSizeBoundary:
+    def test_splitter_accepts_exactly_the_limit(self):
+        splitter = FrameSplitter(max_line_bytes=16)
+        assert splitter.feed(b"x" * 16 + b"\n") == [b"x" * 16]
+
+    def test_splitter_rejects_one_byte_over(self):
+        splitter = FrameSplitter(max_line_bytes=16)
+        with pytest.raises(ProtocolError) as excinfo:
+            splitter.feed(b"x" * 17 + b"\n")
+        assert excinfo.value.kind == "bad_frame"
+
+    def test_splitter_rejects_terminatorless_flood_early(self):
+        """A stream with no newline must fail as soon as it cannot fit."""
+        splitter = FrameSplitter(max_line_bytes=8)
+        splitter.feed(b"x" * 8)  # could still become a max-size line
+        with pytest.raises(ProtocolError):
+            splitter.feed(b"x")  # now it cannot
+
+    def test_splitter_unlimited_when_unconfigured(self):
+        splitter = FrameSplitter()
+        assert splitter.feed(b"x" * 1024 + b"\n") == [b"x" * 1024]
+
+    def test_client_core_enforces_the_wire_limit(self):
+        core = ClientCore(max_frame_bytes=64)
+        with pytest.raises(ProtocolError):
+            core.feed_bytes(b"{" + b"x" * 64 + b"}\n")
+
+    def test_server_accepts_a_frame_of_exactly_the_limit(
+        self, small_real_scenario, monkeypatch
+    ):
+        """The inclusive boundary on the real read loop: a ping padded to
+        exactly MAX_FRAME_BYTES answers, one more byte is a bad_frame."""
+        scenario = small_real_scenario
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 4096)
+
+        def padded_ping(line_bytes: int) -> bytes:
+            skeleton = b'{"id": 1, "op": "ping", "pad": ""}'
+            pad = line_bytes - len(skeleton)
+            return skeleton[:-2] + b"y" * pad + b'"}'
+
+        async def run():
+            service, host, port = await _start_service(scenario, [])
+            # Exactly at the limit: accepted and answered.
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=protocol.MAX_FRAME_BYTES
+            )
+            wire = padded_ping(protocol.MAX_FRAME_BYTES)
+            assert len(wire) == protocol.MAX_FRAME_BYTES
+            writer.write(wire + b"\n")
+            await writer.drain()
+            frame = json.loads(await reader.readline())
+            assert frame["ok"] is True and frame["result"]["pong"] is True
+            writer.close()
+            await writer.wait_closed()
+
+            # One byte over: structured bad_frame, then the stream closes.
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=2 * protocol.MAX_FRAME_BYTES
+            )
+            writer.write(padded_ping(protocol.MAX_FRAME_BYTES + 1) + b"\n")
+            await writer.drain()
+            frame = json.loads(await reader.readline())
+            assert frame["ok"] is False
+            assert frame["error"]["kind"] == "bad_frame"
+            assert await reader.read() == b""
+            writer.close()
+            await writer.wait_closed()
+            await service.stop()
+
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Read-only ops bypass admission (they observe drains and overloads)
+# ----------------------------------------------------------------------
+class TestReadOnlyOpsBypassAdmission:
+    def test_draining_server_still_answers_stats_and_ping(
+        self, small_real_scenario
+    ):
+        scenario = small_real_scenario
+        history, _live = _split_stream(scenario)
+
+        async def run():
+            service, host, port = await _start_service(scenario, history)
+            async with await ServiceClient.connect(host, port) as client:
+                service.admission.begin_drain()
+                # Engine work is shed …
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.flows(scenario.slocation_ids()[:2], 0.0, HISTORY)
+                assert excinfo.value.details["reason"] == REASON_DRAINING
+                # … but the operator's view of the drain stays available.
+                stats = await client.stats()
+                assert stats["admission"]["draining"] is True
+                assert stats["admission"]["shed_draining"] == 1
+                assert (await client.ping())["pong"] is True
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_rate_limited_client_still_observes_stats(self, small_real_scenario):
+        scenario = small_real_scenario
+        history, _live = _split_stream(scenario)
+        slocs = scenario.slocation_ids()
+
+        async def run():
+            service, host, port = await _start_service(
+                scenario,
+                history,
+                admission=AdmissionConfig(rate_per_second=0.001, burst=1),
+            )
+            async with await ServiceClient.connect(host, port) as client:
+                await client.flows(slocs[:2], 0.0, HISTORY)  # burns the burst
+                with pytest.raises(ServiceError):
+                    await client.flows(slocs[:2], 0.0, HISTORY)
+                # stats/ping never consume rate tokens and never get shed.
+                for _ in range(3):
+                    stats = await client.stats()
+                    assert (await client.ping())["pong"] is True
+                assert stats["admission"]["shed_rate"] == 1
+            await service.stop()
+
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Empty-batch parity over the wire
+# ----------------------------------------------------------------------
+class TestEmptyIngestOverTheWire:
+    def test_empty_ingest_is_a_complete_no_op(self, small_real_scenario):
+        scenario = small_real_scenario
+        history, _live = _split_stream(scenario)
+        slocs = scenario.slocation_ids()
+
+        async def run():
+            service, host, port = await _start_service(scenario, history)
+            subscriber = await ServiceClient.connect(host, port)
+            loader = await ServiceClient.connect(host, port)
+            subscription = await subscriber.subscribe_top_k(
+                slocs, 3, 0.0, DURATION
+            )
+            token = service.iupt.data_key
+            receipt = await loader.ingest_batch([])
+            assert receipt["records_ingested"] == 0
+            assert receipt["shards_touched"] == []
+            # No version bump, no refresh, no push.
+            assert service.iupt.data_key == token
+            assert service.metrics.pushes_sent == 0
+            assert subscription.updates.empty()
+            engine_sub = service.continuous.subscriptions[0]
+            assert engine_sub.stats.refreshes == 1  # the initial compute only
+            await subscriber.close()
+            await loader.close()
+            await service.stop()
+
+        asyncio.run(run())

@@ -202,10 +202,36 @@ class TestEviction:
         with pytest.raises(ValueError):
             store.ingest_batch([_record(9, 1, 5.0)])
 
-    def test_flat_store_refuses_eviction(self):
+    def test_flat_store_evicts_strictly_below_cutoff(self):
         flat = InMemoryRecordStore()
-        with pytest.raises(NotImplementedError):
-            flat.evict_before(10.0)
+        flat.ingest_batch([_record(1, 1, float(t)) for t in range(0, 50)])
+        dropped = flat.evict_before(25.0)
+        assert dropped == 25
+        assert flat.eviction_watermark == 25.0
+        assert len(flat) == 25
+        # The survivor set starts exactly at the cut-off (inclusive).
+        assert flat.records_in_time_order()[0].timestamp == 25.0
+        with pytest.raises(EvictedRangeError):
+            flat.range_query(5.0, 45.0)
+        with pytest.raises(ValueError):
+            flat.ingest_batch([_record(9, 1, 5.0)])  # no refilling history
+        # Windows starting at the watermark still answer; both index kinds
+        # were rebuilt consistently.
+        assert len(flat.range_query(25.0, 49.0)) == 25
+
+    def test_flat_eviction_bumps_version_and_notifies(self):
+        flat = InMemoryRecordStore()
+        flat.ingest_batch([_record(1, 1, float(t)) for t in range(10)])
+        events = []
+        flat.subscribe(events.append)
+        token = flat.version_token()
+        assert flat.evict_before(5.0) == 5
+        assert flat.version_token() != token  # cached artefacts must die
+        assert len(events) == 1 and events[0].records_dropped == 5
+        # Dropping nothing is a no-op: no event, no watermark movement.
+        assert flat.evict_before(3.0) == 0
+        assert len(events) == 1
+        assert flat.eviction_watermark == 5.0
 
     def test_eviction_below_a_window_keeps_its_token(self):
         """Routine retention must not invalidate cached windows above it."""
@@ -213,6 +239,105 @@ class TestEviction:
         token = store.version_token(30.0, 45.0)
         store.evict_before(25.0)
         assert store.version_token(30.0, 45.0) == token
+
+
+class TestEvictionBoundaryParity:
+    """The retention boundary contract of ``storage/base.py``, flat vs sharded.
+
+    With the cut-off exactly on a shard boundary the two backends must be
+    observationally identical: a record with ``timestamp == cutoff`` always
+    survives, the watermark lands on the cut-off, and a window starting
+    exactly at the watermark never raises.
+    """
+
+    CUTOFF = 20.0  # == a shard boundary for shard_seconds=10
+
+    def _pair(self):
+        records = [_record(1, 1, float(t)) for t in range(0, 40, 2)]
+        boundary = _record(2, 3, self.CUTOFF)  # timestamp == cutoff
+        flat = InMemoryRecordStore()
+        sharded = ShardedRecordStore(shard_seconds=10.0)
+        for store in (flat, sharded):
+            store.ingest_batch(records + [boundary])
+        return flat, sharded
+
+    def test_record_at_cutoff_survives_on_both(self):
+        flat, sharded = self._pair()
+        for store in (flat, sharded):
+            dropped = store.evict_before(self.CUTOFF)
+            assert dropped == 10  # strictly-below records only
+            survivors = [r.timestamp for r in store.records_in_time_order()]
+            assert min(survivors) == self.CUTOFF
+            assert sum(1 for t in survivors if t == self.CUTOFF) == 2
+
+    def test_watermark_and_boundary_queries_identical(self):
+        flat, sharded = self._pair()
+        for store in (flat, sharded):
+            store.evict_before(self.CUTOFF)
+            assert store.eviction_watermark == self.CUTOFF
+            # A window starting exactly at the watermark must not raise …
+            at_watermark = store.range_query(self.CUTOFF, 40.0)
+            assert [r.timestamp for r in at_watermark][0] == self.CUTOFF
+            # … while one epsilon below must.
+            with pytest.raises(EvictedRangeError):
+                store.range_query(self.CUTOFF - 1e-9, 40.0)
+
+    def test_post_eviction_answers_identical(self):
+        flat, sharded = self._pair()
+        for store in (flat, sharded):
+            store.evict_before(self.CUTOFF)
+        for window in ((20.0, 40.0), (20.0, 20.0), (25.0, 31.0)):
+            flat_rows = [
+                (r.object_id, r.timestamp, r.sample_set)
+                for r in flat.range_query(*window)
+            ]
+            sharded_rows = [
+                (r.object_id, r.timestamp, r.sample_set)
+                for r in sharded.range_query(*window)
+            ]
+            assert flat_rows == sharded_rows
+
+    def test_ingest_at_watermark_accepted_below_rejected_on_both(self):
+        flat, sharded = self._pair()
+        for store in (flat, sharded):
+            store.evict_before(self.CUTOFF)
+            store.ingest_batch([_record(7, 1, self.CUTOFF)])  # at watermark: ok
+            with pytest.raises(ValueError):
+                store.ingest_batch([_record(7, 1, self.CUTOFF - 0.5)])
+
+
+class TestEmptyBatchParity:
+    """An empty ``ingest_batch`` must be a no-op on every path.
+
+    Regression for the flat store taking the lock and building receipts for
+    empty batches while the sharded store short-circuited: neither may bump
+    any version token, fire events, or trigger continuous refreshes.
+    """
+
+    @pytest.mark.parametrize("store_kind", ["flat", "sharded"])
+    def test_no_version_bump_no_events(self, store_kind):
+        store = make_store(store_kind, shard_seconds=10.0)
+        store.ingest_batch([_record(1, 1, 5.0)])
+        events = []
+        store.subscribe(events.append)
+        token = store.version_token()
+        receipt = store.ingest_batch([])
+        assert receipt.records_ingested == 0
+        assert receipt.shards_touched == ()
+        assert receipt.object_spans == ()
+        assert store.version_token() == token
+        assert events == []
+
+    @pytest.mark.parametrize("store_kind", ["flat", "sharded"])
+    def test_no_continuous_refresh(self, store_kind):
+        iupt, engine = _figure_like_table(sharded=(store_kind == "sharded"))
+        continuous = engine.continuous(iupt)
+        subscription = continuous.register_top_k([0, 1], 1, 0.0, 30.0)
+        refreshes = subscription.stats.refreshes
+        iupt.ingest_batch([])
+        assert subscription.stats.refreshes == refreshes
+        assert subscription.stats.skipped == 0  # not even a skipped event
+        continuous.close()
 
 
 class TestBatchVersioning:
