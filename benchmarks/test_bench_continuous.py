@@ -29,6 +29,7 @@ import pathlib
 from typing import Dict, List
 
 from repro import IUPT, QueryEngine
+from repro.codec import codec_info
 from repro.experiments.runner import split_into_time_batches
 from repro.synth import build_real_scenario
 
@@ -95,6 +96,7 @@ def test_continuous_refresh_report():
 
     payload: Dict[str, object] = {
         "benchmark": "continuous-refresh-strategies",
+        "codec": codec_info(),
         "workload": {
             "scenario": scenario.name,
             "records": len(scenario.iupt),

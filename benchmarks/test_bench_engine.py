@@ -27,6 +27,7 @@ import time
 from typing import Dict, List
 
 from repro import EngineConfig, QueryEngine
+from repro.codec import codec_info
 from repro.experiments.runner import overlapping_queries
 from repro.synth import build_real_scenario, build_synthetic_scenario
 
@@ -129,6 +130,7 @@ def test_engine_throughput_report():
 
     payload = {
         "benchmark": "engine-throughput",
+        "codec": codec_info(),
         "workload": {
             "scenario": scenario.name,
             "records": len(scenario.iupt),

@@ -38,6 +38,7 @@ import time
 from typing import List, Tuple
 
 from repro import IUPT, QueryEngine, ServiceClient, QueryService
+from repro.codec import codec_info
 from repro.service import protocol
 from repro.service.metrics import LatencyHistogram
 from repro.synth import build_synthetic_scenario
@@ -268,6 +269,7 @@ def test_service_concurrent_clients_report():
     scenario = _scenario()
     payload = asyncio.run(_run_benchmark(scenario))
     payload["benchmark"] = "service-concurrent-clients"
+    payload["codec"] = codec_info()
 
     if os.environ.get("REPRO_BENCH_STRICT") != "1":
         # Correctness runs (the tier-1 suite collects this file) must not

@@ -28,12 +28,16 @@ import pathlib
 import time
 from typing import Dict, List
 
+import pytest
+
 from repro import IUPT, SampleSet
+from repro.codec import codec_info, decode_batch, encode_batch
 from repro.data.records import PositioningRecord
 from repro.experiments.runner import split_into_time_batches
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 REPORT_PATH = REPO_ROOT / "BENCH_storage.json"
+PAPER_REPORT_PATH = REPO_ROOT / "BENCH_storage_paper.json"
 
 NUM_OBJECTS = 50
 DURATION_SECONDS = 3600.0
@@ -175,6 +179,7 @@ def test_storage_throughput_report():
     store = sharded.store
     payload = {
         "benchmark": "storage-ingestion-and-query",
+        "codec": codec_info(),
         "workload": {
             "records": len(records),
             "objects": NUM_OBJECTS,
@@ -209,3 +214,106 @@ def test_storage_throughput_report():
     REPORT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {REPORT_PATH}:")
     print(json.dumps({"ingestion": payload["ingestion"], "window_query": payload["window_query"]}, indent=2))
+
+# ----------------------------------------------------------------------
+# Paper scale (>=100k records): the packed codec against JSON payloads
+# ----------------------------------------------------------------------
+PAPER_NUM_OBJECTS = 100
+PAPER_DURATION_SECONDS = 6000.0
+
+
+def _paper_stream() -> List[PositioningRecord]:
+    records: List[PositioningRecord] = []
+    tick = 0
+    timestamp = 0.0
+    while timestamp < PAPER_DURATION_SECONDS:
+        for object_id in range(PAPER_NUM_OBJECTS):
+            ploc = (object_id + tick) % 23
+            records.append(
+                PositioningRecord(
+                    object_id,
+                    SampleSet.from_pairs([(ploc, 0.6), (ploc + 1, 0.4)]),
+                    timestamp + object_id * 0.01,
+                )
+            )
+        tick += 1
+        timestamp += REPORT_PERIOD_SECONDS
+    return records
+
+
+def test_storage_paper_scale_codec_report():
+    """Paper-scale (>=100k records) ingest-to-queryable and codec round trip.
+
+    Opt-in via ``REPRO_BENCH_PAPER=1``: streams the full paper-scale report
+    load into the sharded store, measures time-to-first-answer, and compares
+    the packed binary codec against the JSON payload path for a whole-table
+    round trip.  Results land in ``BENCH_storage_paper.json``.
+    """
+    if os.environ.get("REPRO_BENCH_PAPER") != "1":
+        pytest.skip("paper-scale benchmark: set REPRO_BENCH_PAPER=1")
+
+    from repro.storage.durable import record_from_payload, record_to_payload
+
+    records = _paper_stream()
+    assert len(records) >= 100_000
+    batches = split_into_time_batches(records, 0.0, STREAM_BATCH_SECONDS)
+
+    # --- Ingest-to-queryable: stream everything, then the first answer.
+    sharded = IUPT.sharded(shard_seconds=SHARD_SECONDS)
+    began = time.perf_counter()
+    for batch in batches:
+        sharded.ingest_batch(batch)
+    first_answer = sharded.range_query(0.0, QUERY_WINDOW_SECONDS)
+    ingest_to_queryable = time.perf_counter() - began
+    assert len(sharded) == len(records) and first_answer
+
+    # --- Codec round trip: packed binary vs the JSON payload path.
+    began = time.perf_counter()
+    blob = encode_batch(records)
+    encode_elapsed = time.perf_counter() - began
+    began = time.perf_counter()
+    decoded = decode_batch(blob)
+    decode_elapsed = time.perf_counter() - began
+
+    began = time.perf_counter()
+    text = json.dumps([record_to_payload(r) for r in records])
+    json_encode_elapsed = time.perf_counter() - began
+    began = time.perf_counter()
+    via_json = [record_from_payload(p) for p in json.loads(text)]
+    json_decode_elapsed = time.perf_counter() - began
+
+    # Equality before any number counts.
+    assert [r.timestamp for r in decoded] == [r.timestamp for r in records]
+    assert [r.timestamp for r in via_json] == [r.timestamp for r in records]
+
+    round_trip = encode_elapsed + decode_elapsed
+    json_round_trip = json_encode_elapsed + json_decode_elapsed
+    payload = {
+        "benchmark": "storage-paper-scale-codec",
+        "codec": codec_info(),
+        "workload": {
+            "records": len(records),
+            "objects": PAPER_NUM_OBJECTS,
+            "duration_seconds": PAPER_DURATION_SECONDS,
+            "shard_seconds": SHARD_SECONDS,
+        },
+        "ingest_to_queryable": {
+            "elapsed_s": round(ingest_to_queryable, 4),
+            "records_per_second": round(len(records) / ingest_to_queryable),
+        },
+        "codec_round_trip": {
+            "packed_encode_s": round(encode_elapsed, 4),
+            "packed_decode_s": round(decode_elapsed, 4),
+            "json_encode_s": round(json_encode_elapsed, 4),
+            "json_decode_s": round(json_decode_elapsed, 4),
+            "packed_bytes": len(blob),
+            "json_bytes": len(text),
+            "speedup_vs_json": round(json_round_trip / round_trip, 2),
+        },
+    }
+    PAPER_REPORT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {PAPER_REPORT_PATH}:")
+    print(json.dumps(payload["codec_round_trip"], indent=2))
+    assert round_trip < json_round_trip, (
+        "packed round trip should beat the JSON payload path at paper scale"
+    )

@@ -115,7 +115,14 @@ from .synth import (
 # range_query/version_token state, the service gained a checkpoint op,
 # subscription-manifest restore and flush-on-drain, and both stores honour
 # one documented eviction/ingest boundary contract (flat stores evict now).
-__version__ = "3.3.0"
+# 3.4.0: binary record codec + vectorized kernels. repro.codec packs record
+# batches into one little-endian columnar layout (numpy-backed, byte-identical
+# stdlib-array fallback) shared by WAL frames, snapshots, and a lazily
+# materialised shard representation; DurabilityConfig.codec defaults to
+# "binary" (JSON directories and mixed segments still recover), and
+# EngineConfig.scoring_kernel selects a PresenceMatrix scoring path asserted
+# bit-identical to the scalar fold.
+__version__ = "3.4.0"
 
 __all__ = [
     "ALGORITHMS",

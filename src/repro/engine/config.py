@@ -36,6 +36,14 @@ are executed independently of *what* is computed:
     recomputed; ``"recompute"`` re-answers every standing query from the
     (invalidated) cache on every event — the pre-continuous behaviour a
     polling client would get, kept for the refresh-strategy benchmark.
+``scoring_kernel``
+    Which accumulation kernel sums per-object presences into flows:
+    ``"scalar"`` is the per-entry Python loop, ``"vectorized"`` builds a
+    :class:`~repro.codec.kernels.PresenceMatrix` once per window group and
+    reduces contiguous arrays (bit-identical flows and rankings, asserted
+    by the differential tests).  ``"auto"`` (default) picks vectorized when
+    the codec's numpy backend is active and scalar on the pure-Python
+    fallback, where the matrix build would cost more than it saves.
 """
 
 from __future__ import annotations
@@ -46,6 +54,8 @@ from typing import Dict, Optional
 EXECUTOR_KINDS = ("serial", "thread", "process")
 
 CONTINUOUS_REFRESH_KINDS = ("incremental", "recompute")
+
+SCORING_KERNEL_KINDS = ("auto", "scalar", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -58,6 +68,7 @@ class EngineConfig:
     presence_store_capacity: int = 4096
     shard_scoped_cache_keys: bool = True
     continuous_refresh: str = "incremental"
+    scoring_kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTOR_KINDS:
@@ -68,6 +79,11 @@ class EngineConfig:
             raise ValueError(
                 f"unknown continuous refresh {self.continuous_refresh!r}; "
                 f"expected one of {CONTINUOUS_REFRESH_KINDS}"
+            )
+        if self.scoring_kernel not in SCORING_KERNEL_KINDS:
+            raise ValueError(
+                f"unknown scoring kernel {self.scoring_kernel!r}; "
+                f"expected one of {SCORING_KERNEL_KINDS}"
             )
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be at least 1 (or None for the default)")
@@ -83,6 +99,16 @@ class EngineConfig:
     @property
     def caching_enabled(self) -> bool:
         return self.presence_store_capacity > 0
+
+    @property
+    def resolved_scoring_kernel(self) -> str:
+        """``"scalar"`` or ``"vectorized"``, with ``"auto"`` resolved against
+        the codec's active backend (vectorized only pays off on numpy)."""
+        if self.scoring_kernel != "auto":
+            return self.scoring_kernel
+        from ..codec import active_backend
+
+        return "vectorized" if active_backend() == "numpy" else "scalar"
 
     @staticmethod
     def serial() -> "EngineConfig":
@@ -109,4 +135,5 @@ class EngineConfig:
             "presence_store_capacity": self.presence_store_capacity,
             "shard_scoped_cache_keys": self.shard_scoped_cache_keys,
             "continuous_refresh": self.continuous_refresh,
+            "scoring_kernel": self.scoring_kernel,
         }

@@ -147,6 +147,7 @@ def accumulate_flows_over_entries(
     sloc_ids: Sequence[int],
     parent_cells: Dict[int, Optional[int]],
     stats: SearchStats,
+    kernel: str = "scalar",
 ) -> Dict[int, float]:
     """Sum per-location flows over per-object artefacts, in entry order.
 
@@ -154,7 +155,19 @@ def accumulate_flows_over_entries(
     with the continuous-query subsystem: the bit-for-bit equivalence of a
     standing flow result and a fresh ``flows_for_all`` hangs on both summing
     the same per-object presence values in the same (fetch) order.
+
+    ``kernel="vectorized"`` reduces a
+    :class:`~repro.codec.kernels.PresenceMatrix` instead of looping —
+    bit-identical flows and ``flow_evaluations`` (asserted by the
+    differential tests in ``tests/test_codec.py``).
     """
+    if kernel == "vectorized":
+        from ..codec.kernels import PresenceMatrix
+
+        matrix = PresenceMatrix(entries, sloc_ids, parent_cells)
+        flows, evaluations = matrix.accumulate_flows(sloc_ids)
+        stats.flow_evaluations += evaluations
+        return flows
     flows: Dict[int, float] = {sloc_id: 0.0 for sloc_id in sloc_ids}
     for _object_id, entry in entries:
         if entry.pruned:
@@ -437,7 +450,11 @@ class QueryPipeline:
         sequences = self.fetch.run(ctx, iupt)
 
         flows = accumulate_flows_over_entries(
-            self.presences(ctx, sequences), ordered, parent_cells, ctx.stats
+            self.presences(ctx, sequences),
+            ordered,
+            parent_cells,
+            ctx.stats,
+            kernel=self._config.resolved_scoring_kernel,
         )
 
         ctx.stats.elapsed_seconds += time.perf_counter() - began

@@ -37,6 +37,7 @@ import asyncio
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Set, Tuple
 
+from ..codec import codec_info
 from ..data.iupt import IUPT
 from ..engine.continuous import Subscription, TOP_K
 from ..engine.runtime import QueryEngine
@@ -209,6 +210,13 @@ class QueryService:
         self._stopped = True
         self._server.close()  # stops accepting; existing sockets stay open
         self.admission.begin_drain()
+        # Detach every connection's standing subscriptions NOW, before the
+        # first await: a client that disconnects while the drain waits on
+        # in-flight requests must not unregister them (unregistration drops
+        # durable subscriptions from the persisted manifest, so they would
+        # miss the restart a drain precedes).
+        for connection in tuple(self._connections):
+            self._detach_subscriptions(connection)
         if self._request_tasks:
             await asyncio.gather(*tuple(self._request_tasks), return_exceptions=True)
         for connection in tuple(self._connections):
@@ -296,22 +304,37 @@ class QueryService:
         if connection not in self._connections:
             return
         self._connections.discard(connection)
-        orphaned = list(connection.subscriptions.values())
-        connection.subscriptions.clear()
-        for subscription in orphaned:
-            if self._stopped:
-                # Callback reads happen under the store lock at fire time;
-                # plain assignment is atomic and races at worst with one
-                # final push, which the closing connection drops anyway.
-                subscription.on_update = None
-                subscription.on_evicted = None
-            else:
+        if self._stopped or self.admission.draining:
+            # A drain may also be started without stop() (an operator
+            # quiescing the service ahead of a restart): the flipped rule
+            # applies from the instant draining began, so a client that
+            # disconnects mid-drain cannot drop its subscriptions from the
+            # manifest.
+            self._detach_subscriptions(connection)
+        else:
+            orphaned = list(connection.subscriptions.values())
+            connection.subscriptions.clear()
+            for subscription in orphaned:
                 # Unregistration takes the store lock — off the loop, like
                 # every other lock-taking call.
                 await self._run_blocking(self.continuous.unregister, subscription)
         self.admission.forget_client(connection.conn_id)
         await connection.flush_and_close()
         self.metrics.note_connection_closed()
+
+    def _detach_subscriptions(self, connection: _Connection) -> None:
+        """Clear a connection's push callbacks, keeping its subscriptions
+        registered (and in the durable manifest) for a post-restart resume.
+
+        Callback reads happen under the store lock at fire time; plain
+        assignment is atomic and races at worst with one final push, which
+        the closing connection drops anyway.
+        """
+        orphaned = list(connection.subscriptions.values())
+        connection.subscriptions.clear()
+        for subscription in orphaned:
+            subscription.on_update = None
+            subscription.on_evicted = None
 
     async def _close_connection(self, connection: _Connection) -> None:
         await self._cleanup_connection(connection)
@@ -447,6 +470,10 @@ class QueryService:
             cache_stats=self.engine.cache_stats(),
             continuous_summary=continuous_summary,
             admission=self.admission.as_dict(),
+        )
+        snapshot["codec"] = dict(
+            codec_info(),
+            scoring_kernel=self.engine.config.resolved_scoring_kernel,
         )
         return protocol.response_frame(request_id, snapshot)
 

@@ -72,6 +72,7 @@ from typing import (
     Tuple,
 )
 
+from ..codec.packed import PackedRecordBatch, active_backend, encode_batch
 from ..data.records import PositioningRecord, Sample, SampleSet
 from .base import IngestReceipt, RecordStore, StoreListener, VersionToken
 from .sharded import DEFAULT_SHARD_SECONDS, ShardedRecordStore
@@ -86,8 +87,18 @@ SUBSCRIPTIONS_NAME = "subscriptions.json"
 
 FSYNC_KINDS = ("always", "batch", "never")
 
+CODEC_KINDS = ("binary", "json")
+
 #: Frame header: payload byte length + CRC32 of the payload, big-endian.
 _FRAME_HEADER = struct.Struct(">II")
+
+#: Binary segment-frame body prefix: magic + batch sequence number.
+SEGMENT_MAGIC = b"RSG1"
+_SEGMENT_PREFIX = struct.Struct("<4sQ")
+
+#: Binary snapshot-frame body prefix: magic + shard key + version + through.
+SNAPSHOT_MAGIC = b"RSN1"
+_SNAPSHOT_PREFIX = struct.Struct("<4sqQQ")
 
 
 class SimulatedCrashError(RuntimeError):
@@ -125,17 +136,30 @@ class DurabilityConfig:
         writes, file deletions), then raises :class:`SimulatedCrashError`
         immediately *before* the next one — i.e. it dies at a frame
         boundary, leaving whole frames on disk.  ``None`` disables.
+    ``codec``
+        Body encoding of segment frames and snapshots: ``"binary"``
+        (default) writes the packed columnar layout of
+        :mod:`repro.codec.packed`; ``"json"`` keeps the original JSON
+        payloads.  Recovery is codec-agnostic — every frame declares its
+        own encoding, so directories written by either (or both, across
+        restarts) recover identically; only the control log stays JSON
+        (its frames are a few dozen bytes).
     """
 
     fsync: str = "batch"
     snapshot_every_batches: Optional[int] = None
     checkpoint_on_recover: bool = True
     fail_after_writes: Optional[int] = None
+    codec: str = "binary"
 
     def __post_init__(self) -> None:
         if self.fsync not in FSYNC_KINDS:
             raise ValueError(
                 f"unknown fsync policy {self.fsync!r}; expected one of {FSYNC_KINDS}"
+            )
+        if self.codec not in CODEC_KINDS:
+            raise ValueError(
+                f"unknown WAL codec {self.codec!r}; expected one of {CODEC_KINDS}"
             )
         if self.snapshot_every_batches is not None and self.snapshot_every_batches < 1:
             raise ValueError("snapshot_every_batches must be at least 1 (or None)")
@@ -146,10 +170,70 @@ class DurabilityConfig:
 # ----------------------------------------------------------------------
 # WAL framing
 # ----------------------------------------------------------------------
-def encode_wal_frame(payload: Mapping[str, object]) -> bytes:
-    """One log frame: ``>II`` (length, CRC32) header + compact JSON body."""
-    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+def _frame_bytes(body: bytes) -> bytes:
+    """Wrap a frame body in the ``>II`` (length, CRC32) outer framing."""
     return _FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def encode_wal_frame(payload: Mapping[str, object]) -> bytes:
+    """One JSON log frame: length/CRC header + compact JSON body."""
+    return _frame_bytes(json.dumps(payload, separators=(",", ":")).encode("utf-8"))
+
+
+def encode_segment_frame(seq: int, records: Sequence[PositioningRecord]) -> bytes:
+    """One binary segment frame: magic + sequence + packed record batch."""
+    return _frame_bytes(
+        _SEGMENT_PREFIX.pack(SEGMENT_MAGIC, seq) + encode_batch(records)
+    )
+
+
+def encode_snapshot_frame(
+    shard_key: int, version: int, through: int, records: Sequence[PositioningRecord]
+) -> bytes:
+    """One binary snapshot frame: magic + shard metadata + packed batch."""
+    return _frame_bytes(
+        _SNAPSHOT_PREFIX.pack(SNAPSHOT_MAGIC, shard_key, version, through)
+        + encode_batch(records)
+    )
+
+
+def _parse_frame_body(body: bytes) -> Optional[dict]:
+    """One frame body to its dict form; ``None`` when undecodable.
+
+    Binary bodies announce themselves with a magic prefix and carry their
+    records as a :class:`~repro.codec.packed.PackedRecordBatch` under the
+    ``"packed"`` key; everything else is the original compact JSON.  The
+    dispatch is per frame, so one segment file may freely mix codecs (a
+    store reopened under a different :attr:`DurabilityConfig.codec` keeps
+    appending to its existing segments).
+    """
+    prefix = body[:4]
+    if prefix == SEGMENT_MAGIC:
+        try:
+            _magic, seq = _SEGMENT_PREFIX.unpack_from(body)
+            packed = PackedRecordBatch.decode(body[_SEGMENT_PREFIX.size :])
+        except (ValueError, struct.error):
+            return None
+        return {"seq": seq, "packed": packed}
+    if prefix == SNAPSHOT_MAGIC:
+        try:
+            _magic, shard_key, version, through = _SNAPSHOT_PREFIX.unpack_from(body)
+            packed = PackedRecordBatch.decode(body[_SNAPSHOT_PREFIX.size :])
+        except (ValueError, struct.error):
+            return None
+        return {
+            "shard": shard_key,
+            "version": version,
+            "through": through,
+            "packed": packed,
+        }
+    try:
+        frame = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(frame, dict):
+        return None
+    return frame
 
 
 def decode_wal_frames(data: bytes) -> Tuple[List[dict], int]:
@@ -172,15 +256,20 @@ def decode_wal_frames(data: bytes) -> Tuple[List[dict], int]:
         body = data[start:end]
         if zlib.crc32(body) != crc:
             break
-        try:
-            frame = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            break
-        if not isinstance(frame, dict):
+        frame = _parse_frame_body(body)
+        if frame is None:
             break
         frames.append(frame)
         offset = end
     return frames, offset
+
+
+def frame_records(frame: Mapping[str, object]) -> List[PositioningRecord]:
+    """Materialise the records a decoded segment/snapshot frame carries."""
+    packed = frame.get("packed")
+    if packed is not None:
+        return packed.to_records()
+    return [record_from_payload(p) for p in frame["records"]]
 
 
 # ----------------------------------------------------------------------
@@ -301,6 +390,7 @@ class DurableRecordStore(RecordStore):
         replayed = 0
         skipped_uncommitted = 0
         loaded_from_snapshot = 0
+        loaded_lazily = 0
         max_through = 0
         shard_seconds = self._inner.shard_seconds
         for key in sorted(set(snapshots) | set(segments)):
@@ -312,13 +402,12 @@ class DurableRecordStore(RecordStore):
                 continue
             snapshot = snapshots.get(key)
             if snapshot is not None:
-                records = [record_from_payload(p) for p in snapshot["records"]]
                 version = int(snapshot["version"])
                 through = int(snapshot["through"])
                 loaded_from_snapshot += 1
             else:
-                records, version, through = [], 0, 0
-            applied_frames = 0
+                version, through = 0, 0
+            pending: List[dict] = []
             for frame in segments.get(key, ()):
                 seq = int(frame["seq"])
                 if seq <= through:
@@ -326,22 +415,35 @@ class DurableRecordStore(RecordStore):
                 if seq not in committed:
                     skipped_uncommitted += 1
                     continue
-                records.extend(
-                    record_from_payload(p) for p in frame["records"]
-                )
-                version += 1
-                through = seq
-                replayed += 1
-                applied_frames += 1
-            if applied_frames:
-                # One stable sort replays every _Shard.absorb bit-exactly:
-                # absorb extend+sorts per frame, but stable sorting the
-                # concatenation of already-sorted runs once yields the same
-                # tie order (slices arrive in commit order, each internally
-                # time-sorted) at a fraction of the recovery cost.
-                records.sort(key=lambda record: record.timestamp)
-            if version > 0:
-                self._inner.load_shard(key, records, version)
+                pending.append(frame)
+            if (
+                not pending
+                and snapshot is not None
+                and snapshot.get("packed") is not None
+                and version > 0
+            ):
+                # Binary snapshot with nothing to replay: adopt the packed
+                # batch as-is — the shard decodes lazily on first query, so
+                # cold recovery is one blob read per shard.
+                self._inner.load_shard_packed(key, snapshot["packed"], version)
+                loaded_lazily += 1
+            else:
+                records = frame_records(snapshot) if snapshot is not None else []
+                for frame in pending:
+                    records.extend(frame_records(frame))
+                    version += 1
+                    through = int(frame["seq"])
+                    replayed += 1
+                if pending:
+                    # One stable sort replays every _Shard.absorb bit-exactly:
+                    # absorb extend+sorts per frame, but stable sorting the
+                    # concatenation of already-sorted runs once yields the
+                    # same tie order (slices arrive in commit order, each
+                    # internally time-sorted) at a fraction of the recovery
+                    # cost.
+                    records.sort(key=lambda record: record.timestamp)
+                if version > 0:
+                    self._inner.load_shard(key, records, version)
             self._shard_last_seq[key] = through
             self._snapshotted_version[key] = (
                 int(snapshot["version"]) if snapshot is not None else 0
@@ -361,6 +463,7 @@ class DurableRecordStore(RecordStore):
             "shards": self._inner.shard_count,
             "records": len(self._inner),
             "shards_from_snapshot": loaded_from_snapshot,
+            "shards_loaded_lazily": loaded_lazily,
             "segments_seen": sum(1 for frames in segments.values() if frames),
             "frames_replayed": replayed,
             "frames_skipped_uncommitted": skipped_uncommitted,
@@ -487,10 +590,10 @@ class DurableRecordStore(RecordStore):
                 self._fsync_dir(self._wal_dir)
         return handle
 
-    def _append_segment_frame(self, key: int, payload: Mapping[str, object]) -> None:
+    def _append_segment_frame(self, key: int, frame: bytes) -> None:
         self._fault_point()
         handle = self._segment_handle(key)
-        handle.write(encode_wal_frame(payload))
+        handle.write(frame)
         handle.flush()
         if self.config.fsync == "always":
             os.fsync(handle.fileno())
@@ -571,13 +674,16 @@ class DurableRecordStore(RecordStore):
             # a batch maps onto shards: the WAL frames mirror it exactly.
             slices = self._inner.slice_batch(batch)
             for key, slice_records in slices:
-                self._append_segment_frame(
-                    key,
-                    {
-                        "seq": seq,
-                        "records": [record_to_payload(r) for r in slice_records],
-                    },
-                )
+                if self.config.codec == "binary":
+                    frame = encode_segment_frame(seq, slice_records)
+                else:
+                    frame = encode_wal_frame(
+                        {
+                            "seq": seq,
+                            "records": [record_to_payload(r) for r in slice_records],
+                        }
+                    )
+                self._append_segment_frame(key, frame)
             # The commit record makes the whole multi-shard batch atomic:
             # recovery ignores every frame of an uncommitted sequence.
             self._append_control_frame(
@@ -618,14 +724,20 @@ class DurableRecordStore(RecordStore):
         # Only the dirty shards' records are copied out of the inner store:
         # checkpoint cost is proportional to what changed, not table size.
         for key, version, records in self._inner.shard_states(dirty):
-            payload = {
-                "shard": key,
-                "version": version,
-                "through": self._shard_last_seq.get(key, 0),
-                "records": [record_to_payload(r) for r in records],
-            }
+            through = self._shard_last_seq.get(key, 0)
+            if self.config.codec == "binary":
+                frame = encode_snapshot_frame(key, version, through, records)
+            else:
+                frame = encode_wal_frame(
+                    {
+                        "shard": key,
+                        "version": version,
+                        "through": through,
+                        "records": [record_to_payload(r) for r in records],
+                    }
+                )
             self._fault_point()
-            self._atomic_write(self._snapshot_path(key), encode_wal_frame(payload))
+            self._atomic_write(self._snapshot_path(key), frame)
             self._snapshotted_version[key] = version
             snapshots_written += 1
         # Every committed frame is folded into a snapshot now; uncommitted
@@ -800,6 +912,8 @@ class DurableRecordStore(RecordStore):
                 "kind": self.kind,
                 "directory": str(self._dir),
                 "fsync": self.config.fsync,
+                "codec": self.config.codec,
+                "codec_backend": active_backend(),
                 "snapshot_every_batches": self.config.snapshot_every_batches,
                 "next_seq": self._next_seq,
                 "recovery": dict(self.recovery_report),

@@ -29,9 +29,9 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left, bisect_right
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..codec.packed import PackedRecordBatch
 from ..data.records import PositioningRecord
 from ..indexes import BPlusTree, OneDimensionalRTree
 from .base import (
@@ -48,14 +48,50 @@ from .base import (
 DEFAULT_SHARD_SECONDS = 600.0
 
 
-@dataclass
 class _Shard:
-    """One time partition: sorted records plus a bulk-loaded time index."""
+    """One time partition: sorted records plus a bulk-loaded time index.
 
-    key: int
-    records: List[PositioningRecord] = field(default_factory=list)
-    version: int = 0
-    _index: Optional[object] = None
+    Records live either *materialised* (the sorted list the query paths
+    walk) or *packed* (the codec's columnar batch, as recovered from a
+    binary snapshot).  A packed shard decodes lazily on first record
+    access, so recovering a large table never pays per-record object
+    construction for shards no query touches — its record count, time
+    bounds and version are available without decoding.
+    """
+
+    __slots__ = ("key", "version", "_records", "_packed", "_index", "_timestamps")
+
+    def __init__(
+        self,
+        key: int,
+        records: Optional[List[PositioningRecord]] = None,
+        version: int = 0,
+        packed: Optional[PackedRecordBatch] = None,
+    ):
+        self.key = key
+        self.version = version
+        if records is None and packed is None:
+            records = []
+        self._records = records
+        self._packed = packed
+        self._index: Optional[object] = None
+        self._timestamps: Optional[List[float]] = None
+
+    @property
+    def records(self) -> List[PositioningRecord]:
+        if self._records is None:
+            self._records = self._packed.to_records()
+        return self._records
+
+    @property
+    def materialised(self) -> bool:
+        return self._records is not None
+
+    @property
+    def record_count(self) -> int:
+        if self._records is not None:
+            return len(self._records)
+        return len(self._packed)
 
     def absorb(self, incoming: List[PositioningRecord]) -> None:
         """Merge a time-sorted batch slice into this shard and bump its version.
@@ -64,10 +100,29 @@ class _Shard:
         newly ingested ones on timestamp ties — the same arrival-order tie
         rule the flat store's insort-based path follows.
         """
-        self.records.extend(incoming)
-        self.records.sort(key=lambda record: record.timestamp)
+        records = self.records
+        records.extend(incoming)
+        records.sort(key=lambda record: record.timestamp)
         self._index = None
+        self._timestamps = None
+        self._packed = None
         self.version += 1
+
+    def packed(self) -> PackedRecordBatch:
+        """The shard's records in the codec's columnar layout (cached)."""
+        if self._packed is None:
+            self._packed = PackedRecordBatch.from_records(self.records)
+        return self._packed
+
+    def timestamps(self) -> List[float]:
+        """The sorted timestamp column; served from the packed form when the
+        records themselves were never materialised."""
+        if self._timestamps is None:
+            if self._records is not None:
+                self._timestamps = [record.timestamp for record in self._records]
+            else:
+                self._timestamps = self._packed.timestamps_list()
+        return self._timestamps
 
     def index(self, index_kind: str):
         """The shard's time index, bulk-loaded lazily after the last absorb."""
@@ -90,13 +145,16 @@ class ShardedRecordStore(RecordStore):
         invalidate less on ingestion but carry more per-shard overhead;
         the default suits report streams spanning minutes to hours.
     index_kind:
-        ``"1dr-tree"`` (default) or ``"bplus-tree"``; the kind of index each
-        shard bulk-loads.
+        ``"1dr-tree"`` (default) or ``"bplus-tree"``: the kind of index each
+        shard bulk-loads.  ``"packed"`` skips tree building entirely and
+        answers boundary-shard probes by bisecting the shard's sorted
+        timestamp column (identical results: a shard's record list is the
+        index's leaf order).
     """
 
     kind = "sharded"
 
-    VALID_INDEXES = ("1dr-tree", "bplus-tree")
+    VALID_INDEXES = ("1dr-tree", "bplus-tree", "packed")
 
     def __init__(
         self,
@@ -224,6 +282,12 @@ class ShardedRecordStore(RecordStore):
                 if start <= shard_start and shard_end <= end:
                     # Fully covered: the sorted record list IS the answer.
                     results.extend(shard.records)
+                elif self._index_kind == "packed":
+                    stamps = shard.timestamps()
+                    lo = bisect_left(stamps, start)
+                    hi = bisect_right(stamps, end)
+                    if lo < hi:
+                        results.extend(shard.records[lo:hi])
                 else:
                     results.extend(
                         shard.index(self._index_kind).range_query(start, end)
@@ -262,7 +326,7 @@ class ShardedRecordStore(RecordStore):
             for key in self._shard_keys:
                 shard_end = (key + 1) * self._shard_seconds
                 if shard_end <= timestamp:
-                    dropped += len(self._shards[key].records)
+                    dropped += self._shards[key].record_count
                     watermark = shard_end
                     del self._shards[key]
                     self._watermark = max(self._watermark, watermark)
@@ -295,9 +359,10 @@ class ShardedRecordStore(RecordStore):
         with self._lock:
             if not self._shard_keys:
                 return (float("inf"), float("-inf"))
-            earliest = self._shards[self._shard_keys[0]].records[0].timestamp
+            # Timestamp columns keep lazily recovered shards unmaterialised.
+            earliest = self._shards[self._shard_keys[0]].timestamps()[0]
             latest = max(
-                shard.records[-1].timestamp for shard in self._shards.values()
+                shard.timestamps()[-1] for shard in self._shards.values()
             )
             return (earliest, latest)
 
@@ -350,7 +415,35 @@ class ShardedRecordStore(RecordStore):
             self._shards[key] = shard
             insert_at = bisect_left(self._shard_keys, key)
             self._shard_keys.insert(insert_at, key)
-            self._count += len(shard.records)
+            self._count += shard.record_count
+
+    def load_shard_packed(
+        self, key: int, packed: PackedRecordBatch, version: int
+    ) -> None:
+        """Install one shard's persisted state as a packed batch (lazy).
+
+        The binary-snapshot twin of :meth:`load_shard`: the columnar batch
+        is adopted as-is and only decoded into record objects when a query
+        first touches the shard, so cold recovery costs one blob read per
+        shard instead of per-record parsing.
+        """
+        if version < 1:
+            raise ValueError("a restored shard's version must be at least 1")
+        with self._lock:
+            if key in self._shards:
+                raise ValueError(f"shard {key} is already loaded")
+            shard = _Shard(key=key, version=version, packed=packed)
+            self._shards[key] = shard
+            insert_at = bisect_left(self._shard_keys, key)
+            self._shard_keys.insert(insert_at, key)
+            self._count += shard.record_count
+
+    def unmaterialised_shard_count(self) -> int:
+        """How many shards still hold only their packed (undecoded) form."""
+        with self._lock:
+            return sum(
+                1 for shard in self._shards.values() if not shard.materialised
+            )
 
     def restore_identity(self, uid: object) -> None:
         """Adopt a persisted store identity (recovery-only).
@@ -377,6 +470,7 @@ class ShardedRecordStore(RecordStore):
                 "index_kind": self._index_kind,
                 "shard_seconds": self._shard_seconds,
                 "shards": len(self._shards),
+                "shards_unmaterialised": self.unmaterialised_shard_count(),
                 "shards_probed": self.shards_probed,
                 "shards_pruned": self.shards_pruned,
                 "eviction_watermark": self._watermark,

@@ -617,6 +617,44 @@ class TestServerIntegration:
 
         asyncio.run(run())
 
+    def test_disconnect_during_drain_keeps_standing_subscriptions(
+        self, small_real_scenario
+    ):
+        """A drain begun via the admission controller alone (no ``stop()``)
+        must behave like a shutdown for departing clients: their standing
+        subscriptions stay registered for the successor process's manifest
+        instead of being unregistered by the disconnect cleanup."""
+        scenario = small_real_scenario
+        history, _live = _split_stream(scenario)
+        slocs = scenario.slocation_ids()
+
+        async def run():
+            service, host, port = await _start_service(scenario, history)
+            client = await ServiceClient.connect(host, port)
+            await client.subscribe_top_k(slocs, 3, 0.0, HISTORY)
+            await client.subscribe_flows(slocs[:3], 0.0, HISTORY)
+            assert len(service.continuous.subscriptions) == 2
+
+            service.admission.begin_drain()
+            # Abrupt disconnect mid-drain: no unsubscribe is ever sent.
+            await client.close()
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while service._connections:
+                assert asyncio.get_running_loop().time() < deadline, (
+                    "server never observed the client departing"
+                )
+                await asyncio.sleep(0.01)
+
+            # The subscriptions survived the departure …
+            assert len(service.continuous.subscriptions) == 2
+            # … detached from the dead connection's push callbacks.
+            for subscription in service.continuous.subscriptions:
+                assert subscription.on_update is None
+                assert subscription.on_evicted is None
+            await service.stop()
+
+        asyncio.run(run())
+
     def test_rate_limited_client_gets_overloaded_error(self, small_real_scenario):
         scenario = small_real_scenario
         history, _live = _split_stream(scenario)
@@ -658,6 +696,11 @@ class TestServerIntegration:
                 assert stats["admission"]["admitted"] == 2
                 assert stats["connections"]["active"] == 1
                 assert stats["continuous"]["subscriptions"] == 0
+                # Operators can see which codec backend and scoring kernel
+                # this process actually resolved to.
+                assert stats["codec"]["backend"] in ("numpy", "array")
+                assert stats["codec"]["codec_version"] == 1
+                assert stats["codec"]["scoring_kernel"] in ("scalar", "vectorized")
             await service.stop()
 
         asyncio.run(run())
