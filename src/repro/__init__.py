@@ -122,7 +122,17 @@ from .synth import (
 # "binary" (JSON directories and mixed segments still recover), and
 # EngineConfig.scoring_kernel selects a PresenceMatrix scoring path asserted
 # bit-identical to the scalar fold.
-__version__ = "3.4.0"
+# 3.5.0: WAL-shipping read replicas + partition-aware router. The durable
+# store exposes a replication cursor API (committed_batches_after /
+# commit listeners / follower lag tracking, size-triggered WAL compaction
+# with follower hold-back); the wire protocol gained binary RPK1 frames and
+# wal_cursor/wal_tail/wal_ack/replica_status ops; ReadReplica catches up
+# (snapshot-or-replay) then tails commits through the normal ingest path for
+# bit-identical tables; PartitionRouter fans writes to the primary and
+# routes reads across replicas by time-partition affinity under a
+# read-your-writes staleness bound; ServiceClient reconnects with bounded
+# backoff; `python -m repro.service.topology` runs each role as a process.
+__version__ = "3.5.0"
 
 __all__ = [
     "ALGORITHMS",

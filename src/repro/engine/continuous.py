@@ -475,6 +475,41 @@ class ContinuousQueryEngine:
             if subscription.on_evicted is not None:
                 subscription.on_evicted(subscription, subscription._error)
 
+    def resync(self) -> int:
+        """Reconcile every standing result after an out-of-band store reset.
+
+        :meth:`~repro.storage.sharded.ShardedRecordStore.reset_to_packed_shards`
+        replaces the table without firing ingest/eviction events (a reset is
+        not an ingest), so a replica that re-caught-up from a snapshot calls
+        this once afterwards.  Per active subscription: a window whose
+        version token is unchanged holds bit-identical data (same shard
+        versions ⇒ same records) and is skipped; a window now reaching below
+        the adopted retention watermark is marked evicted (``on_evicted``
+        fires); everything else is recomputed from scratch and ``on_update``
+        fires.  Returns how many subscriptions were recomputed.
+        """
+        refreshed = 0
+        with self._lock:
+            watermark = self._iupt.store.eviction_watermark
+            for subscription in self._subscriptions.values():
+                if not subscription.active:
+                    continue
+                start, end = subscription.window
+                if start < watermark:
+                    subscription._error = EvictedRangeError(start, end, watermark)
+                    if subscription.on_evicted is not None:
+                        subscription.on_evicted(subscription, subscription._error)
+                    continue
+                new_key = self._iupt.data_key_for(start, end)
+                if new_key == subscription._data_key:
+                    subscription.stats.skipped += 1
+                    continue
+                self._compute(subscription)
+                refreshed += 1
+                if subscription.on_update is not None:
+                    subscription.on_update(subscription, subscription._result)
+        return refreshed
+
     # ------------------------------------------------------------------
     # Delta maintenance
     # ------------------------------------------------------------------

@@ -17,7 +17,17 @@ the network-facing layer a production deployment needs:
 * :mod:`~repro.service.metrics` — :class:`ServiceMetrics`, per-op latency
   histograms and counters behind the ``stats`` operation;
 * :mod:`~repro.service.client` — the sans-I/O :class:`ClientCore` and the
-  asyncio :class:`ServiceClient` / :class:`RemoteSubscription`.
+  asyncio :class:`ServiceClient` / :class:`RemoteSubscription`, with bounded
+  reconnect-with-backoff (:class:`ReconnectPolicy`);
+* :mod:`~repro.service.replica` — :class:`ReadReplica`, a WAL-shipping
+  follower that catches up (snapshot or replay), tails the primary's
+  commits as binary ``RPK1`` frames, and serves reads from its own
+  read-only service;
+* :mod:`~repro.service.router` — :class:`PartitionRouter`, a front door
+  fanning writes to the primary and routing reads across replicas by
+  time-partition affinity with a read-your-writes staleness bound;
+* :mod:`~repro.service.topology` — the CLI entrypoint running one topology
+  role per process (``python -m repro.service.topology``).
 
 Everything is standard-library only (``asyncio``, ``json``, ``threading``).
 """
@@ -30,11 +40,19 @@ from .admission import (
     REASON_DRAINING,
     REASON_RATE,
 )
-from .client import ClientCore, RemoteSubscription, ServiceClient, ServiceError
+from .client import (
+    ClientCore,
+    ReconnectPolicy,
+    RemoteSubscription,
+    ServiceClient,
+    ServiceError,
+)
 from .metrics import LatencyHistogram, ServiceMetrics
 from .protocol import (
     ERROR_KINDS,
+    FrameAssembler,
     FrameSplitter,
+    MUTATING_OPS,
     OPS,
     PROTOCOL_VERSION,
     ProtocolError,
@@ -54,6 +72,8 @@ from .protocol import (
     response_frame,
     result_to_wire,
 )
+from .replica import ReadReplica, ReplicaError
+from .router import PartitionRouter
 from .server import QueryService
 
 __all__ = [
@@ -62,17 +82,23 @@ __all__ = [
     "AdmissionStats",
     "ClientCore",
     "ERROR_KINDS",
+    "FrameAssembler",
     "FrameSplitter",
     "LatencyHistogram",
+    "MUTATING_OPS",
     "OPS",
     "PROTOCOL_VERSION",
+    "PartitionRouter",
     "ProtocolError",
     "QueryService",
     "READ_ONLY_OPS",
     "REASON_CAPACITY",
     "REASON_DRAINING",
     "REASON_RATE",
+    "ReadReplica",
+    "ReconnectPolicy",
     "RemoteSubscription",
+    "ReplicaError",
     "SUBSCRIPTION_KINDS",
     "ServiceClient",
     "ServiceError",

@@ -26,11 +26,12 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..data.records import PositioningRecord
 from . import protocol
-from .protocol import FrameSplitter, ProtocolError
+from .protocol import FrameAssembler, ProtocolError
 
 
 class ServiceError(Exception):
@@ -58,6 +59,11 @@ class ClientCore:
 
         ("response", request_id, frame)   a reply to one of our requests
         ("push", frame)                   an unsolicited subscription frame
+
+    Incoming bytes run through a :class:`~repro.service.protocol.FrameAssembler`,
+    so binary (``"bin"``-length-prefixed) frames are reassembled with their
+    payload attached under :data:`protocol.BIN_PAYLOAD` — the sans-I/O core
+    speaks both wire forms.
     """
 
     def __init__(self, max_frame_bytes: Optional[int] = protocol.MAX_FRAME_BYTES) -> None:
@@ -65,11 +71,15 @@ class ClientCore:
         # The client enforces the same inclusive frame-size boundary as the
         # server's read loop (see protocol.MAX_FRAME_BYTES): a hostile or
         # buggy server cannot balloon the sans-I/O buffer without bound.
-        self._splitter = FrameSplitter(max_line_bytes=max_frame_bytes)
+        self._assembler = FrameAssembler(max_frame_bytes=max_frame_bytes)
         self.pending: Dict[object, dict] = {}
 
     def build_request(self, op: str, **fields: object) -> Tuple[int, bytes]:
-        """A fresh request frame in wire form; the id is tracked as pending."""
+        """A fresh request frame in wire form; the id is tracked as pending.
+
+        A :data:`protocol.BIN_PAYLOAD` field rides along as the binary
+        payload — :func:`protocol.encode_frame` emits the binary form.
+        """
         request_id = next(self._ids)
         frame: Dict[str, object] = {"id": request_id, "op": op}
         frame.update(fields)
@@ -78,12 +88,7 @@ class ClientCore:
 
     def feed_bytes(self, chunk: bytes) -> List[Tuple]:
         """Classify every complete frame in ``chunk`` (plus buffered tail)."""
-        events: List[Tuple] = []
-        for line in self._splitter.feed(chunk):
-            if not line.strip():
-                continue
-            events.append(self.feed_frame(protocol.decode_frame(line)))
-        return events
+        return [self.feed_frame(frame) for frame in self._assembler.feed(chunk)]
 
     def feed_frame(self, frame: dict) -> Tuple:
         """Classify one already-decoded frame."""
@@ -95,9 +100,18 @@ class ClientCore:
 
     @staticmethod
     def unwrap(frame: dict):
-        """The result payload of a response frame, or a :class:`ServiceError`."""
+        """The result payload of a response frame, or a :class:`ServiceError`.
+
+        A binary response payload is merged into the result dict under
+        :data:`protocol.BIN_PAYLOAD` (on a copy — the frame is untouched),
+        so callers receive one self-contained value.
+        """
         if frame.get("ok"):
-            return frame.get("result")
+            result = frame.get("result")
+            if protocol.BIN_PAYLOAD in frame:
+                result = dict(result) if isinstance(result, dict) else {"result": result}
+                result[protocol.BIN_PAYLOAD] = frame[protocol.BIN_PAYLOAD]
+            return result
         raise ServiceError.from_error_payload(frame.get("error") or {})
 
 
@@ -133,10 +147,44 @@ class RemoteSubscription:
         return await asyncio.wait_for(self.updates.get(), timeout)
 
 
+@dataclass(frozen=True)
+class ReconnectPolicy:
+    """Bounded reconnect-with-backoff for :meth:`ServiceClient.request`.
+
+    On a :class:`ConnectionError`, the client re-dials up to ``max_retries``
+    times, sleeping ``initial_backoff * multiplier**attempt`` (capped at
+    ``max_backoff``) between attempts, then resends the request on the new
+    connection.  Subscriptions and WAL tails do **not** survive a reconnect —
+    they are live streams; callers re-subscribe / redo the WAL handshake.
+    """
+
+    max_retries: int = 3
+    initial_backoff: float = 0.05
+    multiplier: float = 2.0
+    max_backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.initial_backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1.0")
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        return min(self.initial_backoff * self.multiplier**attempt, self.max_backoff)
+
+
 class ServiceClient:
     """One asyncio connection to a :class:`~repro.service.server.QueryService`."""
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        reconnect: Optional[ReconnectPolicy] = None,
+    ):
         self._reader = reader
         self._writer = writer
         self._core = ClientCore()
@@ -146,17 +194,30 @@ class ServiceClient:
         #: for a not-yet-materialised subscription buffer here.
         self._early_pushes: Dict[int, List[dict]] = {}
         self._closed = False
+        #: WAL replication pushes (``push: wal`` / ``wal_evict``) land here
+        #: in arrival order — the replica's apply loop consumes this queue.
+        self.wal_frames: "asyncio.Queue[dict]" = asyncio.Queue()
+        #: Optional hook receiving every push frame that matched no local
+        #: subscription (the router uses it to relay pushes to its clients).
+        self.on_push: Optional[Callable[[dict], None]] = None
+        self._reconnect = reconnect
+        self._endpoint: Optional[Tuple[str, int]] = None
+        self.reconnects = 0
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServiceClient":
+    async def connect(
+        cls, host: str, port: int, reconnect: Optional[ReconnectPolicy] = None
+    ) -> "ServiceClient":
         reader, writer = await asyncio.open_connection(
             host, port, limit=protocol.MAX_FRAME_BYTES
         )
-        return cls(reader, writer)
+        client = cls(reader, writer, reconnect=reconnect)
+        client._endpoint = (host, port)
+        return client
 
     async def close(self) -> None:
         if self._closed:
@@ -191,7 +252,15 @@ class ServiceClient:
                 if not line.strip():
                     continue
                 try:
-                    event = self._core.feed_frame(protocol.decode_frame(line))
+                    frame = protocol.decode_frame(line)
+                    if protocol.BIN_LENGTH in frame:
+                        need = protocol.binary_length(frame, protocol.MAX_FRAME_BYTES)
+                        frame[protocol.BIN_PAYLOAD] = await self._reader.readexactly(
+                            need
+                        )
+                    event = self._core.feed_frame(frame)
+                except asyncio.IncompleteReadError:
+                    break  # connection died mid-payload
                 except ProtocolError:
                     continue  # tolerate one garbled frame rather than dying
                 if event[0] == "push":
@@ -213,11 +282,20 @@ class ServiceClient:
                 if not future.done():
                     future.set_exception(broken)
             self._futures.clear()
+            # Wake any WAL consumer blocked on the queue: the stream is
+            # dead, and reconnecting is its decision to make.
+            self.wal_frames.put_nowait(dict(protocol.WAL_CLOSED_FRAME))
 
     def _route_push(self, frame: dict) -> None:
+        if protocol.is_wal_push_frame(frame):
+            self.wal_frames.put_nowait(frame)
+            return
         sub_id = frame.get("subscription")
         subscription = self._subscriptions.get(sub_id)
         if subscription is None:
+            if self.on_push is not None:
+                self.on_push(frame)
+                return
             self._early_pushes.setdefault(sub_id, []).append(frame)
         else:
             subscription._apply_push(frame)
@@ -229,10 +307,38 @@ class ServiceClient:
         """Issue one request and return its result payload.
 
         Raises :class:`ServiceError` on a structured error response and
-        :class:`ConnectionError` if the connection dies while waiting.
+        :class:`ConnectionError` if the connection dies while waiting.  With
+        a :class:`ReconnectPolicy`, a connection failure instead re-dials
+        (bounded retries, exponential backoff) and resends the request —
+        safe for the read-only and idempotent operations the router issues;
+        callers that must not double-apply a mutation should not set a
+        policy on the connection carrying it.
         """
+        attempt = 0
+        while True:
+            try:
+                return await self._request_once(op, fields)
+            except ConnectionError:
+                policy = self._reconnect
+                if (
+                    policy is None
+                    or self._endpoint is None
+                    or attempt >= policy.max_retries
+                    or self._closed
+                ):
+                    raise
+                await asyncio.sleep(policy.backoff(attempt))
+                attempt += 1
+                await self._redial()
+
+    async def _request_once(self, op: str, fields: Dict[str, object]):
         if self._closed:
             raise ConnectionError("client is closed")
+        if self._reader_task.done():
+            # The read loop has exited: nothing will ever resolve a future
+            # registered now, and writes to the dead transport are silently
+            # buffered — fail fast instead of hanging forever.
+            raise ConnectionError("connection to the query service closed")
         request_id, wire = self._core.build_request(op, **fields)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._futures[request_id] = future
@@ -240,6 +346,37 @@ class ServiceClient:
         await self._writer.drain()
         frame = await future
         return ClientCore.unwrap(frame)
+
+    async def _redial(self) -> None:
+        """Replace the dead transport with a fresh connection.
+
+        Only the transport is replaced: pending futures on the old
+        connection have already failed, and server-side per-connection state
+        (subscriptions, WAL tails) is gone — callers re-establish it.
+        """
+        host, port = self._endpoint
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        try:
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=protocol.MAX_FRAME_BYTES
+            )
+        except OSError as error:
+            raise ConnectionError(
+                f"reconnect to {host}:{port} failed: {error}"
+            ) from error
+        self._reader = reader
+        self._writer = writer
+        self.reconnects += 1
+        self._reader_task = asyncio.ensure_future(self._read_loop())
 
     # ------------------------------------------------------------------
     # Convenience operations (wire payloads in, wire payloads out)
@@ -270,7 +407,20 @@ class ServiceClient:
         """``queries``: dicts with ``q``/``k``/``start``/``end`` fields."""
         return await self.request("batch", queries=list(queries))
 
-    async def ingest_batch(self, records: Iterable[PositioningRecord]) -> dict:
+    async def ingest_batch(
+        self, records: Iterable[PositioningRecord], binary: bool = True
+    ) -> dict:
+        """Ship a batch; by default as one packed RPK1 binary frame.
+
+        ``binary=False`` falls back to the per-record JSON wire form (useful
+        for debugging or non-Python peers); both decode to the same records
+        server-side, so receipts are identical.
+        """
+        if binary:
+            payload = protocol.records_to_payload(list(records))
+            return await self.request(
+                "ingest_batch", **{protocol.BIN_PAYLOAD: payload}
+            )
         return await self.request(
             "ingest_batch", records=protocol.records_to_wire(records)
         )
@@ -284,6 +434,37 @@ class ServiceClient:
 
     async def stats(self) -> dict:
         return await self.request("stats")
+
+    # ------------------------------------------------------------------
+    # Replication (WAL shipping)
+    # ------------------------------------------------------------------
+    async def wal_cursor(
+        self, cursor: int, follower: Optional[str] = None
+    ) -> dict:
+        """The catch-up handshake: snapshot-or-replay decision at ``cursor``.
+
+        In ``snapshot`` mode the result dict carries the packed-shard
+        payload under :data:`protocol.BIN_PAYLOAD`.
+        """
+        fields: Dict[str, object] = {"cursor": cursor}
+        if follower is not None:
+            fields["follower"] = follower
+        return await self.request("wal_cursor", **fields)
+
+    async def wal_tail(
+        self, cursor: int, follower: Optional[str] = None
+    ) -> dict:
+        """Start catch-up-then-tail; WAL pushes land on :attr:`wal_frames`."""
+        fields: Dict[str, object] = {"cursor": cursor}
+        if follower is not None:
+            fields["follower"] = follower
+        return await self.request("wal_tail", **fields)
+
+    async def wal_ack(self, follower: str, cursor: int) -> dict:
+        return await self.request("wal_ack", follower=follower, cursor=cursor)
+
+    async def replica_status(self) -> dict:
+        return await self.request("replica_status")
 
     # ------------------------------------------------------------------
     # Subscriptions

@@ -97,6 +97,7 @@ class ServiceMetrics:
         self.latency_by_op: Dict[str, LatencyHistogram] = {}
         self.pushes_sent = 0
         self.push_evictions_sent = 0
+        self.wal_pushes_sent = 0
         self.connections_opened = 0
         self.connections_closed = 0
 
@@ -121,6 +122,10 @@ class ServiceMetrics:
         self.pushes_sent += 1
         if evicted:
             self.push_evictions_sent += 1
+
+    def note_wal_push(self) -> None:
+        """One WAL frame shipped to a tailing replication follower."""
+        self.wal_pushes_sent += 1
 
     def note_connection_opened(self) -> None:
         self.connections_opened += 1
@@ -148,6 +153,7 @@ class ServiceMetrics:
         cache_stats: Optional[Dict[str, float]] = None,
         continuous_summary: Optional[Dict[str, object]] = None,
         admission: Optional[Dict[str, object]] = None,
+        replication: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
         """The full observability payload served to a ``stats`` request."""
         payload: Dict[str, object] = {
@@ -166,6 +172,7 @@ class ServiceMetrics:
             "pushes": {
                 "sent": self.pushes_sent,
                 "evictions": self.push_evictions_sent,
+                "wal": self.wal_pushes_sent,
             },
             "connections": {
                 "opened": self.connections_opened,
@@ -179,4 +186,6 @@ class ServiceMetrics:
             payload["continuous"] = continuous_summary
         if admission is not None:
             payload["admission"] = admission
+        if replication is not None:
+            payload["replication"] = replication
         return payload

@@ -41,13 +41,15 @@ are strings; int-keyed dicts would not round-trip).
 from __future__ import annotations
 
 import json
+import struct
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..codec.packed import PackedRecordBatch, encode_batch
 from ..core.query import TkPLQResult, TkPLQuery
 from ..data.records import PositioningRecord, Sample, SampleSet
 from ..storage import EvictedRangeError, IngestReceipt
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one frame's wire size.  Both the server and the client
 #: pass this as their stream reader limit (asyncio's default is 64 KiB,
@@ -77,13 +79,34 @@ OPS = (
     "subscribe",
     "unsubscribe",
     "stats",
+    "wal_cursor",
+    "wal_tail",
+    "wal_ack",
+    "replica_status",
 )
 
 #: Introspection ops that bypass admission control: they are how operators
 #: observe a draining or overloaded service, so shedding them would blind
 #: exactly the clients that need to watch the drain.  They take no store
 #: mutation and no engine work, so admitting them is always safe.
-READ_ONLY_OPS = ("ping", "stats")
+#: ``replica_status`` joins them because the router polls it to bound
+#: stale reads — shedding it under load would stall exactly the fail-over
+#: logic that relieves the load.
+READ_ONLY_OPS = ("ping", "stats", "replica_status")
+
+#: Ops rejected by a read-only (replica) service.
+MUTATING_OPS = ("ingest_batch", "evict_before", "checkpoint")
+
+#: Wire field announcing a binary payload: ``{"bin": N}`` on a frame line
+#: means exactly ``N`` raw bytes follow the line's ``\n`` terminator (no
+#: trailing newline of their own).  In-memory the payload rides on the frame
+#: dict under :data:`BIN_PAYLOAD`, which never appears on the wire as JSON.
+BIN_LENGTH = "bin"
+BIN_PAYLOAD = "_bin"
+
+#: One packed shard inside a snapshot payload: key, version, byte length of
+#: the shard's ``RPK1`` blob (which follows immediately).
+_SHARD_SECTION = struct.Struct("<qqI")
 
 #: Subscription kinds accepted by ``subscribe``.
 SUBSCRIPTION_KINDS = ("top_k", "flows")
@@ -95,6 +118,7 @@ ERROR_KINDS = (
     "unknown_op",     # unrecognised "op"
     "evicted_range",  # the window reaches into retention-evicted history
     "overloaded",     # shed by admission control (queue full / rate / drain)
+    "unavailable",    # a router's backend is unreachable
     "internal",       # unexpected server-side failure
 )
 
@@ -112,8 +136,54 @@ class ProtocolError(ValueError):
 # Frames
 # ----------------------------------------------------------------------
 def encode_frame(frame: Mapping[str, object]) -> bytes:
-    """Serialise one frame to its wire form (compact JSON + newline)."""
-    return json.dumps(frame, separators=(",", ":")).encode("utf-8") + b"\n"
+    """Serialise one frame to its wire form (compact JSON + newline).
+
+    A frame carrying a binary payload under :data:`BIN_PAYLOAD` becomes a
+    header line declaring ``{"bin": N}`` followed by the ``N`` raw payload
+    bytes — content-length framing carried alongside the NDJSON ops.
+    """
+    payload = frame.get(BIN_PAYLOAD)
+    if payload is None:
+        return json.dumps(frame, separators=(",", ":")).encode("utf-8") + b"\n"
+    header = {
+        key: value for key, value in frame.items() if key != BIN_PAYLOAD
+    }
+    header[BIN_LENGTH] = len(payload)
+    return (
+        json.dumps(header, separators=(",", ":")).encode("utf-8")
+        + b"\n"
+        + bytes(payload)
+    )
+
+
+def frame_payload(frame: Mapping[str, object]) -> bytes:
+    """The binary payload a decoded frame carries (``bad_request`` if none)."""
+    payload = frame.get(BIN_PAYLOAD)
+    if payload is None:
+        raise ProtocolError("bad_request", "the frame carries no binary payload")
+    return payload  # type: ignore[return-value]
+
+
+def binary_length(frame: Mapping[str, object], limit: int) -> int:
+    """Validate a decoded header line's ``bin`` declaration.
+
+    Returns the payload byte count that must follow the line; raises
+    :class:`ProtocolError` (kind ``bad_frame``) when the declaration is not
+    a non-negative integer within ``limit`` — like an oversized line, the
+    stream cannot be resynchronised past a lying length prefix, so callers
+    fail the connection.
+    """
+    declared = frame.get(BIN_LENGTH)
+    if not isinstance(declared, int) or isinstance(declared, bool) or declared < 0:
+        raise ProtocolError(
+            "bad_frame", f"'bin' must be a non-negative integer, got {declared!r}"
+        )
+    if declared > limit:
+        raise ProtocolError(
+            "bad_frame",
+            f"binary payload of {declared} bytes exceeds the {limit}-byte limit",
+        )
+    return declared
 
 
 def decode_frame(line: bytes) -> Dict[str, object]:
@@ -194,8 +264,92 @@ def push_evicted_frame(
     }
 
 
+def push_wal_frame(seq: int, payload: bytes) -> Dict[str, object]:
+    """One committed WAL batch shipped to a tailing follower.
+
+    The records travel as one packed ``RPK1`` blob — the replication path
+    never pays per-record JSON (decode with :func:`records_from_payload`).
+    """
+    return {"push": "wal", "seq": seq, BIN_PAYLOAD: payload}
+
+
+def push_wal_evict_frame(watermark: float) -> Dict[str, object]:
+    """A committed retention eviction shipped to a tailing follower."""
+    return {"push": "wal_evict", "watermark": watermark}
+
+
 def is_push_frame(frame: Mapping[str, object]) -> bool:
     return "push" in frame
+
+
+#: Synthesised locally by the client when its connection dies — never sent
+#: on the wire.  A WAL consumer blocked on the queue wakes up and decides
+#: whether to reconnect instead of waiting on a dead stream forever.
+WAL_CLOSED_FRAME = {"push": "wal_closed"}
+
+
+def is_wal_push_frame(frame: Mapping[str, object]) -> bool:
+    return frame.get("push") in ("wal", "wal_evict", "wal_closed")
+
+
+# ----------------------------------------------------------------------
+# Binary record payloads (the RPK1 columnar layout on the wire)
+# ----------------------------------------------------------------------
+def records_to_payload(records: Sequence[PositioningRecord]) -> bytes:
+    """Pack a record batch into one ``RPK1`` blob for a binary frame."""
+    return encode_batch(records)
+
+
+def records_from_payload(payload: bytes) -> List[PositioningRecord]:
+    """Decode a binary frame's ``RPK1`` blob back into records.
+
+    Bit-exact on both codec backends (numpy and the stdlib ``array``
+    fallback produce and parse identical bytes), so a response computed
+    from a binary ingest equals one computed from the JSON form.
+    """
+    try:
+        return PackedRecordBatch.decode(payload).to_records()
+    except (ValueError, struct.error) as error:
+        raise ProtocolError(
+            "bad_request", f"undecodable RPK1 record payload: {error}"
+        ) from error
+
+
+def encode_shard_sections(
+    shards: Iterable[Tuple[int, int, bytes]]
+) -> bytes:
+    """Concatenate ``(key, version, RPK1 blob)`` shards into one payload.
+
+    The snapshot half of the catch-up handshake: a follower too far behind
+    the WAL's replay floor receives the primary's whole table as one binary
+    payload of per-shard sections instead of a frame-by-frame replay.
+    """
+    parts: List[bytes] = []
+    for key, version, blob in shards:
+        parts.append(_SHARD_SECTION.pack(key, version, len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def decode_shard_sections(payload: bytes) -> List[Tuple[int, int, bytes]]:
+    """Split a snapshot payload back into ``(key, version, blob)`` shards."""
+    sections: List[Tuple[int, int, bytes]] = []
+    offset = 0
+    size = len(payload)
+    while offset < size:
+        if offset + _SHARD_SECTION.size > size:
+            raise ProtocolError(
+                "bad_request", "truncated shard section header in snapshot payload"
+            )
+        key, version, length = _SHARD_SECTION.unpack_from(payload, offset)
+        offset += _SHARD_SECTION.size
+        if offset + length > size:
+            raise ProtocolError(
+                "bad_request", "truncated shard blob in snapshot payload"
+            )
+        sections.append((key, version, payload[offset : offset + length]))
+        offset += length
+    return sections
 
 
 # ----------------------------------------------------------------------
@@ -366,6 +520,74 @@ class FrameSplitter:
                 )
             lines.append(bytes(self._buffer[:newline]))
             del self._buffer[: newline + 1]
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+class FrameAssembler:
+    """Incremental byte stream → fully decoded frames, binary-aware.
+
+    The sans-I/O superset of :class:`FrameSplitter`: each complete frame
+    line is decoded, and a line declaring ``{"bin": N}`` swallows the next
+    ``N`` raw bytes as its payload (attached under :data:`BIN_PAYLOAD`)
+    before the frame is emitted.  Because the payload may contain ``\\n``
+    bytes, splitting and decoding cannot be layered independently — the
+    assembler owns the buffer and switches between line mode and
+    payload mode itself.
+
+    ``max_frame_bytes`` bounds both the line (terminator excluded,
+    inclusive — the :data:`MAX_FRAME_BYTES` contract) and the declared
+    payload length; violations raise :class:`ProtocolError` and the stream
+    cannot be resynchronised afterwards.
+    """
+
+    def __init__(self, max_frame_bytes: Optional[int] = MAX_FRAME_BYTES) -> None:
+        self._buffer = bytearray()
+        self._limit = max_frame_bytes
+        self._pending: Optional[Dict[str, object]] = None
+        self._need = 0
+
+    def feed(self, chunk: bytes) -> List[Dict[str, object]]:
+        self._buffer.extend(chunk)
+        frames: List[Dict[str, object]] = []
+        while True:
+            if self._pending is not None:
+                if len(self._buffer) < self._need:
+                    return frames
+                frame = self._pending
+                self._pending = None
+                frame[BIN_PAYLOAD] = bytes(self._buffer[: self._need])
+                del self._buffer[: self._need]
+                frames.append(frame)
+                continue
+            newline = self._buffer.find(b"\n")
+            if newline < 0:
+                if self._limit is not None and len(self._buffer) > self._limit:
+                    raise ProtocolError(
+                        "bad_frame",
+                        f"frame exceeds the {self._limit}-byte limit before "
+                        f"any terminator; the stream cannot be resynchronised",
+                    )
+                return frames
+            if self._limit is not None and newline > self._limit:
+                raise ProtocolError(
+                    "bad_frame",
+                    f"frame of {newline} bytes exceeds the {self._limit}-byte limit",
+                )
+            line = bytes(self._buffer[:newline])
+            del self._buffer[: newline + 1]
+            if not line.strip():
+                continue
+            frame = decode_frame(line)
+            if BIN_LENGTH in frame:
+                self._need = binary_length(
+                    frame, self._limit if self._limit is not None else 1 << 62
+                )
+                self._pending = frame
+                continue
+            frames.append(frame)
 
     @property
     def pending_bytes(self) -> int:

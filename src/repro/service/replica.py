@@ -1,0 +1,328 @@
+"""WAL-shipping read replica: catch up, tail, and serve reads.
+
+A :class:`ReadReplica` is a follower process for one primary
+:class:`~repro.service.server.QueryService` over a durable table.  Its life
+cycle is the **catch-up-then-tail** handshake from the replication design:
+
+1. **Handshake** (``wal_cursor``): present the last applied commit sequence.
+   If the primary's WAL still holds every committed frame past it, the
+   answer is *replay* — proceed unchanged.  If compaction or eviction
+   dropped needed frames, the answer is *snapshot* and carries the whole
+   table as packed shards (versions included); the replica adopts it
+   wholesale and its cursor jumps to the primary's last committed sequence.
+2. **Tail** (``wal_tail``): the primary replays committed batches past the
+   cursor as binary ``RPK1`` push frames, then streams every new commit
+   live — one gapless, strictly ordered sequence.
+3. **Apply**: each shipped batch goes through the replica table's ordinary
+   :meth:`~repro.data.iupt.IUPT.ingest_batch` (and eviction pushes through
+   ``evict_before``), so shard versions, engine caches and standing
+   subscriptions behave exactly as on the primary: the same commit prefix
+   yields a bit-identical table, including
+   :meth:`~repro.data.iupt.IUPT.data_key_for` version tokens (the replica
+   adopts the primary's store uid during the handshake).
+
+The replica fronts its table with its own **read-only**
+:class:`~repro.service.server.QueryService` (``role="replica"``): clients
+query and subscribe against it exactly as against the primary; mutations are
+rejected with ``bad_request``.  ``replica_status`` reports the applied
+sequence, which is the router's stale-read bound.
+
+A dropped primary connection is survived: the tailer re-dials with the
+client's bounded backoff policy and redoes the handshake from its current
+cursor.  Batches already applied are deduplicated by sequence number, so an
+overlap between a pre-disconnect tail and a post-reconnect catch-up cannot
+double-ingest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Tuple
+
+from ..codec.packed import PackedRecordBatch
+from ..data.iupt import IUPT
+from ..engine.runtime import QueryEngine
+from . import protocol
+from .client import ReconnectPolicy, ServiceClient, ServiceError
+from .server import QueryService
+
+
+class ReplicaError(RuntimeError):
+    """The replica could not reach or follow its primary."""
+
+
+class ReadReplica:
+    """One read replica: a tailer plus a read-only query service.
+
+    Parameters
+    ----------
+    engine:
+        The query engine over the *same indoor model* as the primary (graph
+        and matrix are static scenario inputs, not replicated state).
+    primary_host, primary_port:
+        The primary query service to follow.
+    name:
+        The follower name registered with the primary (appears in its
+        ``follower_lags`` observability and holds back WAL compaction).
+    ack_every:
+        Send ``wal_ack`` after this many applied batches (acks advance the
+        primary's compaction hold-back cursor; they are flow control, not
+        correctness).
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        primary_host: str,
+        primary_port: int,
+        name: str = "replica",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ack_every: int = 8,
+        reconnect: Optional[ReconnectPolicy] = None,
+        query_workers: int = 4,
+    ):
+        if ack_every < 1:
+            raise ValueError("ack_every must be at least 1")
+        self.engine = engine
+        self.name = name
+        self._primary = (primary_host, primary_port)
+        self._host = host
+        self._port = port
+        self.ack_every = ack_every
+        self._reconnect = reconnect or ReconnectPolicy()
+        self._query_workers = query_workers
+        self._client: Optional[ServiceClient] = None
+        self.iupt: Optional[IUPT] = None
+        self.service: Optional[QueryService] = None
+        self.applied_seq = 0
+        self.applied_batches = 0
+        self.applied_records = 0
+        self.applied_evictions = 0
+        self.snapshot_catchups = 0
+        self.resubscribes = 0
+        self._unacked = 0
+        self._stopped = False
+        self._failed: Optional[BaseException] = None
+        self._run_task: Optional[asyncio.Task] = None
+        self._caught_up = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Connect, catch up, start tailing, and serve reads.
+
+        Returns the replica service's bound ``(host, port)``.  On return the
+        initial catch-up has been *requested*; :meth:`wait_applied` blocks
+        until a given primary sequence is actually applied.
+        """
+        if self._run_task is not None:
+            raise RuntimeError("replica already started")
+        self._client = await ServiceClient.connect(
+            *self._primary, reconnect=self._reconnect
+        )
+        handshake = await self._handshake()
+        shard_seconds = float(handshake["shard_seconds"])
+        index_kind = str(handshake["index_kind"])
+        self.iupt = IUPT.sharded(shard_seconds=shard_seconds, index_kind=index_kind)
+        # Version tokens embed the store uid; adopting the primary's makes
+        # the replica's tokens compare equal for identical shard states.
+        self.iupt.store.restore_identity(handshake["uid"])
+        self._adopt_snapshot(handshake)
+        self.service = QueryService(
+            self.engine,
+            self.iupt,
+            host=self._host,
+            port=self._port,
+            read_only=True,
+            role="replica",
+            query_workers=self._query_workers,
+        )
+        self.service.replication_extra = self._status_extra
+        address = await self.service.start()
+        await self._attach_tail(int(handshake["cursor"]))
+        self._run_task = asyncio.ensure_future(self._run())
+        return address
+
+    async def stop(self) -> None:
+        self._stopped = True
+        if self._run_task is not None:
+            self._run_task.cancel()
+            try:
+                await self._run_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        if self._client is not None:
+            await self._client.close()
+        if self.service is not None:
+            await self.service.stop()
+
+    @property
+    def healthy(self) -> bool:
+        return self._failed is None and not self._stopped
+
+    # ------------------------------------------------------------------
+    # Handshake and catch-up
+    # ------------------------------------------------------------------
+    async def _handshake(self) -> dict:
+        try:
+            return await self._client.wal_cursor(
+                self.applied_seq, follower=self.name
+            )
+        except ServiceError as error:
+            raise ReplicaError(
+                f"primary rejected the WAL handshake: {error}"
+            ) from error
+
+    def _adopt_snapshot(self, handshake: dict) -> None:
+        """Apply a ``snapshot``-mode handshake (no-op in ``replay`` mode)."""
+        if handshake.get("mode") != "snapshot":
+            return
+        payload = handshake.get(protocol.BIN_PAYLOAD)
+        if payload is None:
+            raise ReplicaError("snapshot handshake carried no binary payload")
+        shards = [
+            (key, version, PackedRecordBatch.decode(blob))
+            for key, version, blob in protocol.decode_shard_sections(payload)
+        ]
+        watermark = handshake.get("watermark")
+        self.iupt.store.reset_to_packed_shards(
+            shards,
+            watermark=float("-inf") if watermark is None else float(watermark),
+        )
+        self.applied_seq = int(handshake["cursor"])
+        self.snapshot_catchups += 1
+        if self.service is not None and self.service.continuous is not None:
+            # A reset fires no store events: standing subscriptions must be
+            # recomputed against the adopted table explicitly.
+            self.resubscribes += self.service.continuous.resync()
+
+    async def _attach_tail(self, cursor: int) -> None:
+        """Start tailing at ``cursor``, re-handshaking if the floor moved.
+
+        A compaction or eviction can advance the replay floor between the
+        handshake and the tail request; the primary then rejects the tail
+        and the fix is simply a fresh handshake (which answers in snapshot
+        mode).  Bounded: the floor cannot keep outrunning us indefinitely
+        unless the primary is evicting faster than we can complete two
+        round trips.
+        """
+        for _ in range(4):
+            try:
+                await self._client.wal_tail(cursor, follower=self.name)
+                return
+            except ServiceError:
+                handshake = await self._handshake()
+                self._adopt_snapshot(handshake)
+                cursor = int(handshake["cursor"])
+        raise ReplicaError(
+            "could not attach the WAL tail: the primary's replay floor kept "
+            "moving past the handshake cursor"
+        )
+
+    # ------------------------------------------------------------------
+    # The apply loop
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        """Consume WAL pushes forever; survive primary reconnects."""
+        loop = asyncio.get_running_loop()
+        try:
+            while not self._stopped:
+                frame = await self._client.wal_frames.get()
+                push = frame.get("push")
+                if push == "wal":
+                    await self._apply_commit(loop, frame)
+                elif push == "wal_evict":
+                    watermark = float(frame["watermark"])
+                    dropped = await loop.run_in_executor(
+                        None, self.iupt.evict_before, watermark
+                    )
+                    self.applied_evictions += 1
+                    del dropped
+                elif push == "wal_closed":
+                    await self._reattach()
+        except asyncio.CancelledError:
+            raise
+        except BaseException as error:  # noqa: BLE001 - surfaced via status
+            self._failed = error
+
+    async def _apply_commit(self, loop: asyncio.AbstractEventLoop, frame: dict) -> None:
+        seq = int(frame["seq"])
+        if seq <= self.applied_seq:
+            # Overlap between a pre-reconnect tail and a post-reconnect
+            # catch-up: the batch is already in the table.
+            return
+        records = protocol.records_from_payload(protocol.frame_payload(frame))
+        # ingest_batch takes the store lock (and recomputes standing
+        # subscriptions) — off the event loop like every blocking call.
+        await loop.run_in_executor(None, self.iupt.ingest_batch, records)
+        self.applied_seq = seq
+        self.applied_batches += 1
+        self.applied_records += len(records)
+        self._unacked += 1
+        self._caught_up.set()
+        if self._unacked >= self.ack_every:
+            self._unacked = 0
+            try:
+                await self._client.wal_ack(self.name, seq)
+            except (ServiceError, ConnectionError):
+                pass  # acks are advisory; the tail itself is the contract
+
+    async def _reattach(self) -> None:
+        """The tail connection died: re-dial and redo the handshake.
+
+        The client's reconnect policy bounds the retries; the handshake
+        restarts from the current applied sequence, so at worst the primary
+        re-sends a suffix we deduplicate by sequence number.
+        """
+        if self._stopped:
+            return
+        try:
+            handshake = await self._handshake()
+            self._adopt_snapshot(handshake)
+            await self._attach_tail(int(handshake["cursor"]))
+        except ConnectionError:
+            # The policy's retries inside request() are exhausted.
+            raise ReplicaError(
+                f"lost the primary at {self._primary[0]}:{self._primary[1]} "
+                f"and reconnection retries are exhausted"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    def _status_extra(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "applied_seq": self.applied_seq,
+            "applied_batches": self.applied_batches,
+            "applied_records": self.applied_records,
+            "applied_evictions": self.applied_evictions,
+            "snapshot_catchups": self.snapshot_catchups,
+            "resubscribes": self.resubscribes,
+            "healthy": self.healthy,
+            "primary": {"host": self._primary[0], "port": self._primary[1]},
+        }
+
+    async def wait_applied(self, seq: int, timeout: float = 10.0) -> None:
+        """Block until the replica has applied primary sequence ``seq``."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while self.applied_seq < seq:
+            if self._failed is not None:
+                raise ReplicaError(
+                    f"replica {self.name!r} failed while catching up"
+                ) from self._failed
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise asyncio.TimeoutError(
+                    f"replica {self.name!r} stuck at seq {self.applied_seq}, "
+                    f"waiting for {seq}"
+                )
+            self._caught_up.clear()
+            try:
+                await asyncio.wait_for(
+                    self._caught_up.wait(), min(remaining, 0.25)
+                )
+            except asyncio.TimeoutError:
+                continue

@@ -35,13 +35,14 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Optional, Set, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from ..codec import codec_info
 from ..data.iupt import IUPT
 from ..engine.continuous import Subscription, TOP_K
 from ..engine.runtime import QueryEngine
 from ..storage import EvictedRangeError
+from ..storage.durable import WalCommit, WalEviction
 from .admission import AdmissionConfig, AdmissionController
 from .metrics import ServiceMetrics
 from . import protocol
@@ -66,6 +67,10 @@ class _Connection:
         #: delivery drops it here instead of resurrecting state (sub ids are
         #: never reused, so membership is exact).
         self.unsubscribed: set = set()
+        #: WAL-tail state when this connection is a replication follower:
+        #: the commit-listener token and the registered follower name.
+        self.wal_listener: Optional[int] = None
+        self.wal_follower: Optional[str] = None
         self.closing = False
 
     def send_frame(self, frame: dict) -> None:
@@ -128,11 +133,22 @@ class QueryService:
         port: int = 0,
         admission: Optional[AdmissionConfig] = None,
         query_workers: int = 4,
+        read_only: bool = False,
+        role: str = "primary",
     ):
         if query_workers < 1:
             raise ValueError("query_workers must be at least 1")
         self.engine = engine
         self.iupt = iupt
+        #: A read-only service (a read replica's front door) answers every
+        #: query/subscription op but rejects mutations — its table is owned
+        #: by the replication tail, not by clients.
+        self.read_only = read_only
+        self.role = role
+        #: Extra fields merged into ``replica_status`` responses; a replica
+        #: process points this at its tailer so clients (and the router's
+        #: stale-read bound) can observe the applied sequence.
+        self.replication_extra: Optional[Callable[[], dict]] = None
         self.metrics = ServiceMetrics()
         self.admission = AdmissionController(admission)
         self._host = host
@@ -280,7 +296,40 @@ class QueryService:
                     break
                 if line.strip() == b"":
                     continue
-                task = asyncio.ensure_future(self._serve_request(connection, line))
+                # Binary framing happens HERE, on the stream: a line
+                # declaring {"bin": N} is followed by N raw payload bytes
+                # that must be consumed before the next frame line.  An
+                # undecodable line cannot declare a payload, so it is handed
+                # to _serve_request as-is for the structured bad_frame
+                # answer (stream position is still a line boundary).
+                request: object = line
+                try:
+                    frame = protocol.decode_frame(line.rstrip(b"\n"))
+                except ProtocolError:
+                    frame = None
+                if frame is not None and protocol.BIN_LENGTH in frame:
+                    try:
+                        need = protocol.binary_length(
+                            frame, protocol.MAX_FRAME_BYTES
+                        )
+                    except ProtocolError as error:
+                        # A lying length prefix cannot be resynchronised.
+                        connection.send_frame(
+                            protocol.error_frame(None, error.kind, error.message)
+                        )
+                        break
+                    try:
+                        frame[protocol.BIN_PAYLOAD] = await reader.readexactly(
+                            need
+                        )
+                    except (ConnectionError, asyncio.IncompleteReadError):
+                        break
+                    request = frame
+                elif frame is not None:
+                    request = frame
+                task = asyncio.ensure_future(
+                    self._serve_request(connection, request)
+                )
                 self._request_tasks.add(task)
                 task.add_done_callback(self._request_tasks.discard)
         finally:
@@ -304,6 +353,13 @@ class QueryService:
         if connection not in self._connections:
             return
         self._connections.discard(connection)
+        if connection.wal_listener is not None:
+            # A departed follower stops consuming commits immediately —
+            # detach its listener and drop it from the lag table so
+            # compaction is no longer held back on its account.  (This runs
+            # on drain too: WAL tails are live streams, not resumable
+            # subscriptions; a reconnecting follower redoes the handshake.)
+            await self._run_blocking(self._release_wal_tail, connection)
         if self._stopped or self.admission.draining:
             # A drain may also be started without stop() (an operator
             # quiescing the service ahead of a restart): the flipped rule
@@ -342,13 +398,18 @@ class QueryService:
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
-    async def _serve_request(self, connection: _Connection, line: bytes) -> None:
+    async def _serve_request(
+        self, connection: _Connection, request: "bytes | dict"
+    ) -> None:
         began = self._loop.time()
         request_id: object = None
         op = "?"
         error_kind: Optional[str] = None
         try:
-            frame = protocol.decode_frame(line)
+            if isinstance(request, dict):
+                frame = request  # decoded (and payload-carrying) in the read loop
+            else:
+                frame = protocol.decode_frame(request)
             request_id = frame.get("id")
             op = frame.get("op", "?")
             if not isinstance(op, str):
@@ -388,6 +449,12 @@ class QueryService:
         # pins this for both drain and rate-limit shedding.
         if op in protocol.READ_ONLY_OPS:
             return await self._serve_read_only(op, request_id)
+        if self.read_only and op in protocol.MUTATING_OPS:
+            raise ProtocolError(
+                "bad_request",
+                f"this service is a read-only {self.role}; {op!r} must go to "
+                f"the primary (the replication tail owns this table)",
+            )
 
         rejection = self.admission.admit(connection.conn_id)
         if rejection is not None:
@@ -435,6 +502,11 @@ class QueryService:
                     )
                 connection.subscriptions[subscription.sub_id] = subscription
                 return protocol.response_frame(request_id, result)
+            if op == "wal_tail":
+                result = await self._run_blocking(
+                    self._do_wal_tail, connection, frame
+                )
+                return protocol.response_frame(request_id, result)
             handler = {
                 "top_k": self._do_top_k,
                 "flow": self._do_flow,
@@ -443,8 +515,16 @@ class QueryService:
                 "ingest_batch": self._do_ingest_batch,
                 "evict_before": self._do_evict_before,
                 "checkpoint": self._do_checkpoint,
+                "wal_cursor": self._do_wal_cursor,
+                "wal_ack": self._do_wal_ack,
             }[op]
             result = await self._run_blocking(handler, frame)
+            if isinstance(result, tuple):
+                # (payload_dict, binary_bytes): attach the blob to the frame.
+                result, payload = result
+                response = protocol.response_frame(request_id, result)
+                response[protocol.BIN_PAYLOAD] = payload
+                return response
             return protocol.response_frame(request_id, result)
         finally:
             self.admission.release()
@@ -461,21 +541,53 @@ class QueryService:
                     "records": len(self.iupt),
                 },
             )
+        if op == "replica_status":
+            status = await self._run_blocking(self.replication_status)
+            return protocol.response_frame(request_id, status)
         # stats: the continuous summary takes the store lock (a worker may
         # hold it through a long ingest+refresh), so that part runs off the
         # loop; the metrics/admission counters are loop-owned and are
         # snapshotted here, on their owning thread.
         continuous_summary = await self._run_blocking(self.continuous.describe)
+        replication = await self._run_blocking(self.replication_status)
         snapshot = self.metrics.snapshot(
             cache_stats=self.engine.cache_stats(),
             continuous_summary=continuous_summary,
             admission=self.admission.as_dict(),
+            replication=replication,
         )
         snapshot["codec"] = dict(
             codec_info(),
             scoring_kernel=self.engine.config.resolved_scoring_kernel,
         )
         return protocol.response_frame(request_id, snapshot)
+
+    def replication_status(self) -> dict:
+        """The replication view of this service (worker thread: takes locks).
+
+        On a durable primary: the committed/replayable sequence range, the
+        WAL inventory, and per-follower lag in frames and seconds.  On a
+        replica the tailer merges its applied sequence and primary address
+        in through :attr:`replication_extra`.
+        """
+        store = self.iupt.store
+        status: Dict[str, object] = {
+            "role": self.role,
+            "read_only": self.read_only,
+            "store": store.kind,
+            "shard_seconds": getattr(store, "shard_seconds", None),
+            "records": len(self.iupt),
+        }
+        if hasattr(store, "wal_inventory"):
+            status.update(
+                last_seq=store.last_committed_seq,
+                base_seq=store.wal_base_seq,
+                wal=store.wal_inventory(),
+                followers=store.follower_lags(),
+            )
+        if self.replication_extra is not None:
+            status.update(self.replication_extra())
+        return status
 
     async def _run_blocking(self, fn, *args):
         """Run one CPU-bound handler on the worker pool, off the event loop."""
@@ -516,9 +628,22 @@ class QueryService:
         return {"results": [protocol.result_to_wire(result) for result in results]}
 
     def _do_ingest_batch(self, frame: dict) -> dict:
-        records = protocol.records_from_wire(frame.get("records"))
+        if protocol.BIN_PAYLOAD in frame:
+            # Binary ingest: the batch arrives as one packed RPK1 blob —
+            # no per-record JSON on the wire, no record_to_payload cost.
+            records = protocol.records_from_payload(
+                protocol.frame_payload(frame)
+            )
+        else:
+            records = protocol.records_from_wire(frame.get("records"))
         receipt = self.iupt.ingest_batch(records)
-        return protocol.receipt_to_wire(receipt)
+        result = protocol.receipt_to_wire(receipt)
+        store = self.iupt.store
+        if hasattr(store, "last_committed_seq"):
+            # The durable commit sequence: a router (or any read-your-writes
+            # client) can hold reads until a replica has applied this far.
+            result["seq"] = store.last_committed_seq
+        return result
 
     def _do_evict_before(self, frame: dict) -> dict:
         try:
@@ -543,6 +668,160 @@ class QueryService:
                 f"there is nothing to checkpoint",
             )
         return checkpoint()
+
+    # ------------------------------------------------------------------
+    # WAL shipping (worker-pool threads)
+    # ------------------------------------------------------------------
+    def _durable_store(self):
+        store = self.iupt.store
+        if not hasattr(store, "committed_batches_after"):
+            raise ProtocolError(
+                "bad_request",
+                f"the {store.kind!r} store has no write-ahead log; WAL "
+                f"shipping needs a durable table (IUPT.durable)",
+            )
+        return store
+
+    def _do_wal_cursor(self, frame: dict):
+        """The catch-up half of the handshake: snapshot-or-replay decision.
+
+        ``cursor`` is the follower's last applied sequence.  When the WAL
+        still holds every committed frame past it, the response says
+        ``replay`` and the follower proceeds to ``wal_tail`` unchanged.
+        When compaction or eviction dropped frames the cursor needs, the
+        response says ``snapshot`` and carries the primary's whole table as
+        one binary payload of packed shards; the follower adopts it and
+        tails from the returned (advanced) cursor instead.
+        """
+        store = self._durable_store()
+        try:
+            cursor = int(frame.get("cursor", 0))
+        except (TypeError, ValueError) as error:
+            raise ProtocolError("bad_request", str(error)) from error
+        follower = frame.get("follower")
+        with store.lock:
+            last = store.last_committed_seq
+            result: Dict[str, object] = {
+                "last_seq": last,
+                "base_seq": store.wal_base_seq,
+                "uid": store.uid,
+                "shard_seconds": store.shard_seconds,
+                "index_kind": store.index_kind,
+                "watermark": (
+                    store.eviction_watermark
+                    if store.eviction_watermark > float("-inf")
+                    else None
+                ),
+            }
+            if store.can_replay_from(cursor):
+                result.update(mode="replay", cursor=cursor)
+                payload = None
+            else:
+                # Snapshot catch-up: ship every shard packed, versions
+                # included, so the follower's version tokens match ours.
+                sections = [
+                    (key, version, packed.encode())
+                    for key, version, packed in store.inner.packed_shard_states()
+                ]
+                payload = protocol.encode_shard_sections(sections)
+                result.update(mode="snapshot", cursor=last, shards=len(sections))
+            if follower is not None:
+                store.register_follower(str(follower), int(result["cursor"]))
+        if payload is None:
+            return result
+        return result, payload
+
+    def _do_wal_tail(self, connection: _Connection, frame: dict) -> dict:
+        """Catch-up-then-tail: replay committed batches past the cursor as
+        binary push frames, then keep streaming every new commit live.
+
+        Atomicity: the replayed batches are collected and the commit
+        listener attached under the store lock, so no commit can fall in
+        the gap; ``call_soon_threadsafe`` preserves scheduling order, so
+        the catch-up frames reach the connection's outbox before any live
+        frame — the follower sees one gapless, strictly ordered sequence.
+        """
+        store = self._durable_store()
+        try:
+            cursor = int(frame.get("cursor", 0))
+        except (TypeError, ValueError) as error:
+            raise ProtocolError("bad_request", str(error)) from error
+        if connection.wal_listener is not None:
+            raise ProtocolError(
+                "bad_request", "this connection is already tailing the WAL"
+            )
+        follower = str(frame.get("follower") or f"follower-{connection.conn_id}")
+        with store.lock:
+            if not store.can_replay_from(cursor):
+                raise ProtocolError(
+                    "bad_request",
+                    f"cursor {cursor} is below the WAL replay floor "
+                    f"{store.wal_base_seq}; run wal_cursor to re-catch-up "
+                    f"from a snapshot first",
+                )
+            batches = store.committed_batches_after(cursor)
+            for seq, records in batches:
+                wal_frame = protocol.push_wal_frame(
+                    seq, protocol.records_to_payload(records)
+                )
+                self._loop.call_soon_threadsafe(
+                    self._deliver_wal_push, connection, wal_frame
+                )
+            token = store.add_commit_listener(
+                lambda event: self._push_wal_event(connection, event)
+            )
+            store.register_follower(follower, cursor)
+            connection.wal_listener = token
+            connection.wal_follower = follower
+            return {
+                "tailing": True,
+                "cursor": cursor,
+                "caught_up": len(batches),
+                "last_seq": store.last_committed_seq,
+                "follower": follower,
+            }
+
+    def _do_wal_ack(self, frame: dict) -> dict:
+        """Advance a follower's cursor (frees compaction to move past it)."""
+        store = self._durable_store()
+        try:
+            cursor = int(frame["cursor"])
+            follower = str(frame["follower"])
+        except KeyError as error:
+            raise ProtocolError(
+                "bad_request", f"missing field {error.args[0]!r}"
+            ) from error
+        except (TypeError, ValueError) as error:
+            raise ProtocolError("bad_request", str(error)) from error
+        store.ack_follower(follower, cursor)
+        return {"acked": cursor}
+
+    def _push_wal_event(self, connection: _Connection, event: object) -> None:
+        """Commit-listener hook: runs on the ingesting thread, under the
+        store lock, in commit order — bridge each event onto the loop."""
+        if isinstance(event, WalCommit):
+            frame = protocol.push_wal_frame(event.seq, event.payload())
+        elif isinstance(event, WalEviction):
+            frame = protocol.push_wal_evict_frame(event.watermark)
+        else:  # pragma: no cover - future event kinds are skipped, not fatal
+            return
+        self._loop.call_soon_threadsafe(self._deliver_wal_push, connection, frame)
+
+    def _deliver_wal_push(self, connection: _Connection, frame: dict) -> None:
+        if connection not in self._connections or connection.closing:
+            return
+        connection.send_frame(frame)
+        self.metrics.note_wal_push()
+
+    def _release_wal_tail(self, connection: _Connection) -> None:
+        """Detach a departed follower (worker thread; takes the store lock)."""
+        store = self.iupt.store
+        if connection.wal_listener is not None:
+            store.remove_commit_listener(connection.wal_listener)
+            connection.wal_listener = None
+        if connection.wal_follower is not None:
+            store.unregister_follower(connection.wal_follower)
+            connection.wal_follower = None
 
     def _register_subscription(self, connection: _Connection, frame: dict):
         """Worker-pool half of ``subscribe``: register + first compute.

@@ -57,11 +57,13 @@ import json
 import os
 import pathlib
 import struct
+import time
 import uuid
 import zlib
 from dataclasses import dataclass
 from typing import (
     BinaryIO,
+    Callable,
     Dict,
     Iterable,
     List,
@@ -86,6 +88,9 @@ SNAPSHOT_DIR_NAME = "snapshots"
 SUBSCRIPTIONS_NAME = "subscriptions.json"
 
 FSYNC_KINDS = ("always", "batch", "never")
+
+#: How many recent commits keep their wall-clock time for lag-in-seconds.
+_COMMIT_TIME_WINDOW = 4096
 
 CODEC_KINDS = ("binary", "json")
 
@@ -144,6 +149,20 @@ class DurabilityConfig:
         own encoding, so directories written by either (or both, across
         restarts) recover identically; only the control log stays JSON
         (its frames are a few dozen bytes).
+    ``compact_above_bytes``
+        Size-triggered WAL compaction: after a committed ingest pushes the
+        total segment bytes past this threshold, the store checkpoints
+        (snapshot + segment drop) automatically, so an eviction-free table
+        stops growing one segment forever.  Compaction **holds back** while
+        a registered replication follower's cursor still needs the frames —
+        unless the follower lags by more than ``follower_lag_cap_frames``
+        committed batches, in which case the segments are compacted anyway
+        and the laggard has to re-catch-up from a snapshot
+        (:meth:`DurableRecordStore.can_replay_from` turns false for its
+        cursor).  ``None`` disables.
+    ``follower_lag_cap_frames``
+        How many committed batches a lagging follower may hold compaction
+        back before the primary compacts past it (see above).
     """
 
     fsync: str = "batch"
@@ -151,6 +170,8 @@ class DurabilityConfig:
     checkpoint_on_recover: bool = True
     fail_after_writes: Optional[int] = None
     codec: str = "binary"
+    compact_above_bytes: Optional[int] = None
+    follower_lag_cap_frames: int = 4096
 
     def __post_init__(self) -> None:
         if self.fsync not in FSYNC_KINDS:
@@ -165,6 +186,54 @@ class DurabilityConfig:
             raise ValueError("snapshot_every_batches must be at least 1 (or None)")
         if self.fail_after_writes is not None and self.fail_after_writes < 0:
             raise ValueError("fail_after_writes must be non-negative (or None)")
+        if self.compact_above_bytes is not None and self.compact_above_bytes < 1:
+            raise ValueError("compact_above_bytes must be positive (or None)")
+        if self.follower_lag_cap_frames < 0:
+            raise ValueError("follower_lag_cap_frames must be non-negative")
+
+
+class WalCommit:
+    """One committed batch, as observed by a WAL commit listener.
+
+    ``records`` is the whole batch in its ingested (time-sorted) order —
+    re-ingesting it into an identical store reproduces the primary's shard
+    state and per-shard versions exactly.  :meth:`payload` packs the batch
+    into the ``RPK1`` columnar layout once and caches it, so a primary with
+    several attached followers encodes each commit a single time no matter
+    how many connections ship it.
+    """
+
+    __slots__ = ("seq", "records", "wall_time", "_payload")
+
+    def __init__(
+        self, seq: int, records: Sequence[PositioningRecord], wall_time: float
+    ):
+        self.seq = seq
+        self.records = tuple(records)
+        self.wall_time = wall_time
+        self._payload: Optional[bytes] = None
+
+    def payload(self) -> bytes:
+        """The batch as one packed ``RPK1`` blob (encoded once, cached)."""
+        if self._payload is None:
+            self._payload = encode_batch(self.records)
+        return self._payload
+
+
+class WalEviction:
+    """One committed retention eviction, as observed by a commit listener."""
+
+    __slots__ = ("watermark", "wall_time")
+
+    def __init__(self, watermark: float, wall_time: float):
+        self.watermark = watermark
+        self.wall_time = wall_time
+
+
+#: A WAL commit listener: called under the store lock, in commit order, with
+#: each :class:`WalCommit` / :class:`WalEviction` the moment it is durable
+#: and applied.  The replication layer tails the log through this hook.
+CommitListener = Callable[[object], None]
 
 
 # ----------------------------------------------------------------------
@@ -332,6 +401,24 @@ class DurableRecordStore(RecordStore):
         #: Per shard: the version its current snapshot file holds (0 = none).
         self._snapshotted_version: Dict[int, int] = {}
         self._batches_since_snapshot = 0
+        #: Replication state: the highest committed batch sequence, and the
+        #: sequence at/below which segment frames no longer exist on disk
+        #: (checkpoint compaction folded them into snapshots).
+        self._last_committed_seq = 0
+        self._wal_base_seq = 0
+        #: Per shard: bytes currently held by its segment file.
+        self._segment_bytes: Dict[int, int] = {}
+        #: Registered follower cursors (``name -> last acked seq``) and the
+        #: wall-clock commit times of recent sequences (for lag-in-seconds).
+        self._followers: Dict[str, int] = {}
+        self._commit_times: Dict[int, float] = {}
+        self._commit_listeners: Dict[int, CommitListener] = {}
+        self._next_listener_token = 1
+        self.compaction_stats: Dict[str, int] = {
+            "size_triggered": 0,
+            "held_back": 0,
+            "forced_past_laggard": 0,
+        }
         manifest = self._load_or_create_manifest(float(shard_seconds), index_kind)
         self._uid = manifest["uid"]
         self._inner = ShardedRecordStore(
@@ -392,6 +479,9 @@ class DurableRecordStore(RecordStore):
         loaded_from_snapshot = 0
         loaded_lazily = 0
         max_through = 0
+        #: Committed sequences whose frames physically survive in segments —
+        #: the range a reconnecting follower can still replay from.
+        surviving_committed: Set[int] = set()
         shard_seconds = self._inner.shard_seconds
         for key in sorted(set(snapshots) | set(segments)):
             if (key + 1) * shard_seconds <= watermark:
@@ -416,6 +506,7 @@ class DurableRecordStore(RecordStore):
                     skipped_uncommitted += 1
                     continue
                 pending.append(frame)
+                surviving_committed.add(seq)
             if (
                 not pending
                 and snapshot is not None
@@ -459,6 +550,24 @@ class DurableRecordStore(RecordStore):
         # committed sequence — resuming below it would reuse sequence numbers
         # that a later recovery then skips as already-compacted (data loss).
         self._next_seq = max(base_next, max_seq + 1, max_through + 1)
+        # Replication bookkeeping: the highest committed sequence any source
+        # witnessed, and the replay floor — the sequence at/below which no
+        # committed segment frame survives on disk (a follower whose cursor
+        # is below the floor must re-catch-up from snapshots instead).
+        last_committed = max_through
+        if committed:
+            last_committed = max(last_committed, max(committed))
+        self._last_committed_seq = max(last_committed, base_next - 1)
+        if surviving_committed:
+            self._wal_base_seq = min(surviving_committed) - 1
+        else:
+            self._wal_base_seq = self._last_committed_seq
+        for path in self._wal_dir.glob("segment-*.wal"):
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            self._segment_bytes[int(path.stem.split("-", 1)[1])] = size
         self.recovery_report = {
             "shards": self._inner.shard_count,
             "records": len(self._inner),
@@ -597,6 +706,7 @@ class DurableRecordStore(RecordStore):
         handle.flush()
         if self.config.fsync == "always":
             os.fsync(handle.fileno())
+        self._segment_bytes[key] = self._segment_bytes.get(key, 0) + len(frame)
 
     def _append_control_frame(
         self, payload: Mapping[str, object], fsync: bool
@@ -630,6 +740,7 @@ class DurableRecordStore(RecordStore):
         handle = self._segment_handles.pop(key, None)
         if handle is not None:
             handle.close()
+        self._segment_bytes.pop(key, None)
         path = self._segment_path(key)
         if path.exists():
             if count_write:
@@ -693,10 +804,20 @@ class DurableRecordStore(RecordStore):
             receipt = self._inner.ingest_batch(batch)
             for key, _slice in slices:
                 self._shard_last_seq[key] = seq
+            self._last_committed_seq = seq
+            now = time.time()
+            self._commit_times[seq] = now
+            if len(self._commit_times) > _COMMIT_TIME_WINDOW:
+                # Sequences are monotonic, so insertion order is ascending:
+                # dropping the first key drops the oldest commit time.
+                self._commit_times.pop(next(iter(self._commit_times)))
+            self._notify_commit(WalCommit(seq, batch, now))
             self._batches_since_snapshot += 1
             cadence = self.config.snapshot_every_batches
             if cadence is not None and self._batches_since_snapshot >= cadence:
                 self._checkpoint_locked()
+            else:
+                self._maybe_compact_locked()
             return receipt
 
     # ------------------------------------------------------------------
@@ -748,6 +869,10 @@ class DurableRecordStore(RecordStore):
             self._remove_segment(int(path.stem.split("-", 1)[1]))
         self._rewrite_control_log()
         self._batches_since_snapshot = 0
+        # Every pre-checkpoint frame is gone: followers behind this point
+        # must re-catch-up from snapshots instead of replaying.
+        self._wal_base_seq = self._last_committed_seq
+        self._segment_bytes.clear()
         return {
             "snapshots_written": snapshots_written,
             "shards": self._inner.shard_count,
@@ -766,6 +891,179 @@ class DurableRecordStore(RecordStore):
             self._control_handle = None
         self._fault_point()
         self._atomic_write(self._dir / CONTROL_NAME, encode_wal_frame(base))
+
+    # ------------------------------------------------------------------
+    # Replication: WAL cursors, followers, commit listeners, compaction
+    # ------------------------------------------------------------------
+    @property
+    def last_committed_seq(self) -> int:
+        """The sequence number of the most recently committed batch."""
+        with self._lock:
+            return self._last_committed_seq
+
+    @property
+    def wal_base_seq(self) -> int:
+        """The replay floor: no committed frame with ``seq <= base`` survives.
+
+        Checkpoint compaction and shard eviction both advance it; a follower
+        cursor at or above the floor can replay, anything below must
+        re-catch-up from snapshots (see :meth:`can_replay_from`).
+        """
+        with self._lock:
+            return self._wal_base_seq
+
+    def can_replay_from(self, cursor: int) -> bool:
+        """Whether every committed batch with ``seq > cursor`` is replayable."""
+        with self._lock:
+            return int(cursor) >= self._wal_base_seq
+
+    def committed_batches_after(
+        self, cursor: int
+    ) -> List[Tuple[int, List[PositioningRecord]]]:
+        """Committed batches with ``seq > cursor``, in commit order.
+
+        Each batch is reconstructed exactly as it was ingested: the inner
+        store's :meth:`~repro.storage.sharded.ShardedRecordStore.slice_batch`
+        yields strictly increasing shard keys over a time-sorted batch, so
+        concatenating a sequence's per-shard slices in shard-key order
+        reproduces the original time-sorted batch — re-ingesting it into an
+        identical store reproduces the primary's per-shard versions exactly.
+        This is the same decoded-frame path recovery replays.
+        """
+        with self._lock:
+            self._ensure_usable()
+            cursor = int(cursor)
+            if not self.can_replay_from(cursor):
+                raise ValueError(
+                    f"cursor {cursor} is below the WAL replay floor "
+                    f"{self._wal_base_seq}; re-catch-up from a snapshot"
+                )
+            control_path = self._dir / CONTROL_NAME
+            committed: Set[int] = set()
+            if control_path.exists():
+                frames, _valid = decode_wal_frames(control_path.read_bytes())
+                for frame in frames:
+                    if frame.get("kind") == "commit":
+                        committed.add(int(frame["seq"]))
+            per_seq: Dict[int, List[Tuple[int, dict]]] = {}
+            for path in sorted(self._wal_dir.glob("segment-*.wal")):
+                key = int(path.stem.split("-", 1)[1])
+                frames, _valid = decode_wal_frames(path.read_bytes())
+                for frame in frames:
+                    seq = int(frame["seq"])
+                    if seq <= cursor or seq not in committed:
+                        continue
+                    per_seq.setdefault(seq, []).append((key, frame))
+            batches: List[Tuple[int, List[PositioningRecord]]] = []
+            for seq in sorted(per_seq):
+                records: List[PositioningRecord] = []
+                for _key, frame in sorted(per_seq[seq], key=lambda kv: kv[0]):
+                    records.extend(frame_records(frame))
+                batches.append((seq, records))
+            return batches
+
+    def wal_inventory(self) -> Dict[str, object]:
+        """Segment count/bytes per shard plus the replayable sequence range."""
+        with self._lock:
+            control_path = self._dir / CONTROL_NAME
+            try:
+                control_bytes = control_path.stat().st_size
+            except OSError:
+                control_bytes = 0
+            return {
+                "segments": len(self._segment_bytes),
+                "segment_bytes": sum(self._segment_bytes.values()),
+                "per_shard_bytes": {
+                    str(key): size
+                    for key, size in sorted(self._segment_bytes.items())
+                },
+                "control_bytes": control_bytes,
+                "base_seq": self._wal_base_seq,
+                "last_seq": self._last_committed_seq,
+                "compaction": dict(self.compaction_stats),
+            }
+
+    def register_follower(self, name: str, cursor: int) -> None:
+        """Pin compaction for a replication follower at ``cursor``."""
+        with self._lock:
+            self._followers[name] = int(cursor)
+
+    def ack_follower(self, name: str, cursor: int) -> None:
+        """Advance a follower's cursor (never moves it backwards)."""
+        with self._lock:
+            current = self._followers.get(name)
+            if current is not None:
+                self._followers[name] = max(current, int(cursor))
+
+    def unregister_follower(self, name: str) -> None:
+        with self._lock:
+            self._followers.pop(name, None)
+
+    def follower_lags(self) -> Dict[str, Dict[str, object]]:
+        """Per-follower lag in frames and (best-effort) seconds behind."""
+        with self._lock:
+            now = time.time()
+            lags: Dict[str, Dict[str, object]] = {}
+            for name, cursor in sorted(self._followers.items()):
+                frames_behind = max(0, self._last_committed_seq - cursor)
+                seconds_behind = 0.0
+                if frames_behind:
+                    pending = [
+                        stamp
+                        for seq, stamp in self._commit_times.items()
+                        if seq > cursor
+                    ]
+                    if pending:
+                        seconds_behind = max(0.0, now - min(pending))
+                lags[name] = {
+                    "cursor": cursor,
+                    "frames_behind": frames_behind,
+                    "seconds_behind": round(seconds_behind, 3),
+                }
+            return lags
+
+    def add_commit_listener(self, listener: CommitListener) -> int:
+        """Observe every commit (:class:`WalCommit` / :class:`WalEviction`).
+
+        Listeners run under the store lock, in commit order, the moment the
+        event is durable and applied — the replication tail hooks in here.
+        """
+        with self._lock:
+            token = self._next_listener_token
+            self._next_listener_token += 1
+            self._commit_listeners[token] = listener
+            return token
+
+    def remove_commit_listener(self, token: int) -> bool:
+        with self._lock:
+            return self._commit_listeners.pop(token, None) is not None
+
+    def _notify_commit(self, event: object) -> None:
+        for listener in list(self._commit_listeners.values()):
+            listener(event)
+
+    def _maybe_compact_locked(self) -> None:
+        """Size-triggered compaction, coordinated with follower cursors."""
+        threshold = self.config.compact_above_bytes
+        if threshold is None:
+            return
+        if sum(self._segment_bytes.values()) < threshold:
+            return
+        if self._followers:
+            slowest = min(self._followers.values())
+            if slowest < self._last_committed_seq:
+                lag = self._last_committed_seq - slowest
+                if lag <= self.config.follower_lag_cap_frames:
+                    # A follower still needs these frames and is within its
+                    # allowance: hold the segments back for now.
+                    self.compaction_stats["held_back"] += 1
+                    return
+                # The laggard blew its allowance: compact anyway; it will
+                # find can_replay_from() false and re-catch-up from the
+                # snapshots this very checkpoint writes.
+                self.compaction_stats["forced_past_laggard"] += 1
+        self.compaction_stats["size_triggered"] += 1
+        self._checkpoint_locked()
 
     # ------------------------------------------------------------------
     # Queries (pure delegation)
@@ -811,6 +1109,14 @@ class DurableRecordStore(RecordStore):
                 self._remove_snapshot(key)
                 self._shard_last_seq.pop(key, None)
                 self._snapshotted_version.pop(key, None)
+            # The dropped shards' committed frames are gone, and evictions
+            # themselves are not in the replayable stream: a follower whose
+            # cursor predates this point can no longer replay its way to the
+            # primary's state — it must re-catch-up from snapshots.  Live
+            # tailing followers receive the eviction through the commit
+            # listeners instead and apply it themselves.
+            self._wal_base_seq = self._last_committed_seq
+            self._notify_commit(WalEviction(new_watermark, time.time()))
             return dropped
 
     @property
@@ -872,6 +1178,16 @@ class DurableRecordStore(RecordStore):
         return self._dir
 
     @property
+    def uid(self) -> str:
+        """The persisted store identity (embedded in version tokens).
+
+        Replicas adopt it via
+        :meth:`~repro.storage.sharded.ShardedRecordStore.restore_identity`
+        so their version tokens compare equal to the primary's.
+        """
+        return self._uid
+
+    @property
     def subscription_manifest_path(self) -> pathlib.Path:
         """Where the continuous-query engine persists standing queries."""
         return self._dir / SUBSCRIPTIONS_NAME
@@ -915,7 +1231,11 @@ class DurableRecordStore(RecordStore):
                 "codec": self.config.codec,
                 "codec_backend": active_backend(),
                 "snapshot_every_batches": self.config.snapshot_every_batches,
+                "compact_above_bytes": self.config.compact_above_bytes,
                 "next_seq": self._next_seq,
+                "last_committed_seq": self._last_committed_seq,
+                "wal_base_seq": self._wal_base_seq,
+                "followers": len(self._followers),
                 "recovery": dict(self.recovery_report),
             }
         )

@@ -393,6 +393,22 @@ class ShardedRecordStore(RecordStore):
                 for key in selected
             ]
 
+    def packed_shard_states(
+        self,
+    ) -> List[Tuple[int, int, PackedRecordBatch]]:
+        """``(key, version, packed batch)`` per shard in key order.
+
+        The replication layer's snapshot accessor: each shard's records in
+        the codec's columnar layout (cached on the shard, so repeated
+        snapshots of an untouched shard are free).  The batches are
+        immutable blobs, safe to encode and ship outside the lock.
+        """
+        with self._lock:
+            return [
+                (key, self._shards[key].version, self._shards[key].packed())
+                for key in self._shard_keys
+            ]
+
     # ------------------------------------------------------------------
     # Recovery hooks (durable layer only)
     # ------------------------------------------------------------------
@@ -444,6 +460,41 @@ class ShardedRecordStore(RecordStore):
             return sum(
                 1 for shard in self._shards.values() if not shard.materialised
             )
+
+    def reset_to_packed_shards(
+        self,
+        shards: Iterable[Tuple[int, int, PackedRecordBatch]],
+        watermark: float = float("-inf"),
+    ) -> None:
+        """Replace the whole table with a snapshot's packed shards.
+
+        The replication layer's re-catch-up hook: when a follower's WAL
+        cursor falls below the primary's replay floor (compaction or
+        eviction dropped the frames it needs), it adopts the primary's
+        current per-shard state wholesale.  Versions are restored verbatim —
+        a shard at the same ``(key, version)`` holds bit-identical records
+        on both sides (versions advance once per committed batch touching
+        the shard, and both sides applied the same commit prefix), so
+        engine caches keyed by version tokens stay valid across the reset.
+
+        No store events fire: a reset is not an ingest.  Callers owning
+        standing subscriptions must explicitly resync them afterwards
+        (:meth:`repro.engine.continuous.ContinuousQueryEngine.resync`).
+        """
+        with self._lock:
+            self._shards = {}
+            self._shard_keys = []
+            self._count = 0
+            for key, version, packed in sorted(shards, key=lambda s: s[0]):
+                if int(version) < 1:
+                    raise ValueError(
+                        "a restored shard's version must be at least 1"
+                    )
+                shard = _Shard(key=int(key), version=int(version), packed=packed)
+                self._shards[shard.key] = shard
+                self._shard_keys.append(shard.key)
+                self._count += shard.record_count
+            self._watermark = max(self._watermark, float(watermark))
 
     def restore_identity(self, uid: object) -> None:
         """Adopt a persisted store identity (recovery-only).

@@ -1,0 +1,712 @@
+"""Replication: WAL cursors, binary frames, replicas, and the router.
+
+Four layers, each asserted **bit-identical** against a non-replicated
+oracle:
+
+* the durable store's replication cursor API (``committed_batches_after``
+  must reproduce exactly the ingested batches; the replay floor moves with
+  checkpoints and evictions; followers hold WAL compaction back),
+* the binary wire framing (``"bin"``-length-prefixed RPK1 payloads through
+  the sans-I/O :class:`~repro.service.protocol.FrameAssembler`),
+* the :class:`~repro.service.replica.ReadReplica` catch-up-then-tail loop
+  (live replay, snapshot catch-up, fault-injected primary crash + restart,
+  mixed-codec WALs, array-backend decode), and
+* the :class:`~repro.service.router.PartitionRouter` (routed reads equal
+  primary reads, read-your-writes, fallback when a replica dies).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro import IUPT, QueryEngine, QueryService, SampleSet, ServiceClient, ServiceError
+from repro.codec.packed import PackedRecordBatch, encode_batch
+from repro.data.records import PositioningRecord
+from repro.service import protocol
+from repro.service.client import ReconnectPolicy
+from repro.service.protocol import FrameAssembler, ProtocolError
+from repro.service.replica import ReadReplica
+from repro.service.router import PartitionRouter
+from repro.storage import (
+    DurabilityConfig,
+    DurableRecordStore,
+    SimulatedCrashError,
+)
+from repro.storage.durable import WalCommit, WalEviction
+
+SHARD_SECONDS = 10.0
+
+
+def _record(object_id: int, ploc: int, timestamp: float) -> PositioningRecord:
+    return PositioningRecord(
+        object_id,
+        SampleSet.from_pairs([(ploc, 0.625), (ploc + 1, 0.375)]),
+        timestamp,
+    )
+
+
+def _batch(base_time: float, count: int = 4) -> list:
+    return sorted(
+        (
+            _record(100 + i, i % 3, base_time + i * 2.5)
+            for i in range(count)
+        ),
+        key=lambda r: r.timestamp,
+    )
+
+
+# ----------------------------------------------------------------------
+# The durable store's replication cursor API
+# ----------------------------------------------------------------------
+class TestWalCursorApi:
+    def test_committed_batches_replay_bit_identically(self, tmp_path):
+        store = DurableRecordStore(tmp_path, shard_seconds=SHARD_SECONDS)
+        batches = [_batch(i * 20.0) for i in range(5)]
+        for batch in batches:
+            store.ingest_batch(batch)
+        replayed = store.committed_batches_after(0)
+        assert [seq for seq, _ in replayed] == [1, 2, 3, 4, 5]
+        for (seq, records), original in zip(replayed, batches):
+            assert records == original
+        # Partial cursors replay exactly the suffix.
+        suffix = store.committed_batches_after(3)
+        assert [seq for seq, _ in suffix] == [4, 5]
+        assert suffix[0][1] == batches[3]
+        assert store.committed_batches_after(5) == []
+        store.close()
+
+    def test_checkpoint_advances_the_replay_floor(self, tmp_path):
+        store = DurableRecordStore(tmp_path, shard_seconds=SHARD_SECONDS)
+        store.ingest_batch(_batch(0.0))
+        store.ingest_batch(_batch(20.0))
+        assert store.can_replay_from(0)
+        store.checkpoint()
+        assert store.wal_base_seq == store.last_committed_seq == 2
+        assert not store.can_replay_from(0)
+        assert store.can_replay_from(2)
+        with pytest.raises(ValueError):
+            store.committed_batches_after(0)
+        # Frames committed after the checkpoint replay from the floor.
+        store.ingest_batch(_batch(40.0))
+        assert [seq for seq, _ in store.committed_batches_after(2)] == [3]
+        store.close()
+
+    def test_eviction_advances_the_replay_floor(self, tmp_path):
+        store = DurableRecordStore(tmp_path, shard_seconds=SHARD_SECONDS)
+        store.ingest_batch(_batch(0.0))
+        store.ingest_batch(_batch(50.0))
+        store.evict_before(30.0)
+        assert store.wal_base_seq == store.last_committed_seq
+        assert not store.can_replay_from(0)
+        store.close()
+
+    def test_wal_inventory_reports_segments_and_bytes(self, tmp_path):
+        store = DurableRecordStore(tmp_path, shard_seconds=SHARD_SECONDS)
+        store.ingest_batch(_batch(0.0) + _batch(20.0))
+        inventory = store.wal_inventory()
+        assert inventory["segments"] >= 2
+        assert inventory["segment_bytes"] > 0
+        assert inventory["control_bytes"] > 0
+        assert inventory["base_seq"] == 0
+        assert inventory["last_seq"] == 1
+        assert set(inventory["compaction"]) == {
+            "size_triggered", "held_back", "forced_past_laggard",
+        }
+        per_shard = inventory["per_shard_bytes"]
+        assert sum(per_shard.values()) == inventory["segment_bytes"]
+        store.close()
+
+    def test_commit_listeners_see_commits_and_evictions_in_order(self, tmp_path):
+        store = DurableRecordStore(tmp_path, shard_seconds=SHARD_SECONDS)
+        events = []
+        token = store.add_commit_listener(events.append)
+        first = _batch(0.0)
+        store.ingest_batch(first)
+        store.ingest_batch(_batch(50.0))
+        store.evict_before(15.0)  # dooms whole shard 0 ([0, 10))
+        assert isinstance(events[0], WalCommit)
+        assert events[0].seq == 1 and list(events[0].records) == first
+        # The cached payload is the canonical RPK1 encoding of the batch.
+        assert events[0].payload() == encode_batch(first)
+        assert events[0].payload() is events[0].payload()  # cached
+        assert isinstance(events[1], WalCommit) and events[1].seq == 2
+        assert isinstance(events[2], WalEviction)
+        assert events[2].watermark == 10.0  # shard-aligned, not the request
+        assert store.remove_commit_listener(token)
+        store.ingest_batch(_batch(80.0))
+        assert len(events) == 3  # removed listeners stay silent
+        store.close()
+
+    def test_follower_lag_tracking(self, tmp_path):
+        store = DurableRecordStore(tmp_path, shard_seconds=SHARD_SECONDS)
+        for i in range(4):
+            store.ingest_batch(_batch(i * 20.0))
+        store.register_follower("r0", 1)
+        lags = store.follower_lags()
+        assert lags["r0"]["cursor"] == 1
+        assert lags["r0"]["frames_behind"] == 3
+        store.ack_follower("r0", 4)
+        assert store.follower_lags()["r0"]["frames_behind"] == 0
+        store.ack_follower("r0", 2)  # never backwards
+        assert store.follower_lags()["r0"]["cursor"] == 4
+        store.unregister_follower("r0")
+        assert store.follower_lags() == {}
+        store.close()
+
+    def test_size_compaction_holds_back_for_a_close_follower(self, tmp_path):
+        config = DurabilityConfig(
+            compact_above_bytes=1, follower_lag_cap_frames=100
+        )
+        store = DurableRecordStore(
+            tmp_path, shard_seconds=SHARD_SECONDS, config=config
+        )
+        store.register_follower("r0", 0)
+        store.ingest_batch(_batch(0.0))
+        # The follower is 1 frame behind (within the cap): held back.
+        assert store.compaction_stats["held_back"] >= 1
+        assert store.compaction_stats["size_triggered"] == 0
+        assert store.can_replay_from(0)
+        store.close()
+
+    def test_size_compaction_forces_past_a_laggard(self, tmp_path):
+        config = DurabilityConfig(
+            compact_above_bytes=1, follower_lag_cap_frames=2
+        )
+        store = DurableRecordStore(
+            tmp_path, shard_seconds=SHARD_SECONDS, config=config
+        )
+        store.register_follower("r0", 0)
+        for i in range(4):
+            store.ingest_batch(_batch(i * 20.0))
+        assert store.compaction_stats["forced_past_laggard"] >= 1
+        assert store.compaction_stats["size_triggered"] >= 1
+        assert not store.can_replay_from(0)  # the laggard must re-snapshot
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Binary wire frames
+# ----------------------------------------------------------------------
+class TestBinaryFrames:
+    def test_encode_frame_emits_length_prefixed_payload(self):
+        payload = b"\x00\x01binary\nbytes\xff"
+        wire = protocol.encode_frame(
+            {"id": 7, "op": "ingest_batch", protocol.BIN_PAYLOAD: payload}
+        )
+        header, rest = wire.split(b"\n", 1)
+        assert rest == payload  # payload is raw, no trailing newline
+        frame = protocol.decode_frame(header)
+        assert frame[protocol.BIN_LENGTH] == len(payload)
+        assert protocol.BIN_PAYLOAD not in frame  # never JSON-encoded
+
+    def test_assembler_reassembles_binary_frames_across_chunks(self):
+        payload = bytes(range(256)) * 3
+        wire = protocol.encode_frame(
+            {"push": "wal", "seq": 4, protocol.BIN_PAYLOAD: payload}
+        ) + protocol.encode_frame({"id": 1, "ok": True, "result": {"pong": True}})
+        assembler = FrameAssembler()
+        frames = []
+        for i in range(0, len(wire), 7):  # drip-feed 7 bytes at a time
+            frames.extend(assembler.feed(wire[i : i + 7]))
+        assert len(frames) == 2
+        assert frames[0]["seq"] == 4
+        assert frames[0][protocol.BIN_PAYLOAD] == payload
+        assert frames[1]["result"] == {"pong": True}
+        assert assembler.pending_bytes == 0
+
+    def test_assembler_rejects_oversized_declared_payloads(self):
+        assembler = FrameAssembler(max_frame_bytes=64)
+        wire = b'{"id": 1, "bin": 65}\n'
+        with pytest.raises(ProtocolError):
+            assembler.feed(wire)
+
+    def test_record_payload_round_trip_is_bit_exact(self):
+        records = _batch(0.0, count=9)
+        payload = protocol.records_to_payload(records)
+        assert protocol.records_from_payload(payload) == records
+        # The stdlib-array backend decodes the same bytes to the same
+        # records — a numpy primary can feed an array-backend replica.
+        assert PackedRecordBatch.decode(payload, backend="array").to_records() == records
+
+    def test_shard_sections_round_trip(self):
+        sections = [
+            (0, 3, encode_batch(_batch(0.0))),
+            (2, 1, encode_batch(_batch(25.0))),
+            (5, 7, b""),
+        ]
+        payload = protocol.encode_shard_sections(sections)
+        assert protocol.decode_shard_sections(payload) == sections
+        with pytest.raises(ProtocolError):
+            protocol.decode_shard_sections(payload[:-1])  # truncated
+
+
+# ----------------------------------------------------------------------
+# Service-level fixtures (mirrors test_service's conventions)
+# ----------------------------------------------------------------------
+HISTORY = 120.0
+DURATION = 240.0
+SERVICE_SHARD_SECONDS = 60.0
+
+
+def _split_stream(scenario):
+    records = sorted(scenario.iupt.records, key=lambda r: r.timestamp)
+    history = [r for r in records if r.timestamp < HISTORY]
+    live = [r for r in records if r.timestamp >= HISTORY]
+    return history, live
+
+
+def _make_engine(scenario) -> QueryEngine:
+    return QueryEngine(scenario.system.graph, scenario.system.matrix)
+
+
+async def _start_primary(scenario, tmp_path, preload=None, config=None, port=0):
+    iupt = IUPT.durable(
+        tmp_path, shard_seconds=SERVICE_SHARD_SECONDS, config=config
+    )
+    service = QueryService(
+        _make_engine(scenario), iupt, port=port, query_workers=2
+    )
+    host, bound_port = await service.start()
+    if preload:
+        async with await ServiceClient.connect(host, bound_port) as client:
+            await client.ingest_batch(preload)
+    return service, host, bound_port
+
+
+async def _assert_reads_match(primary_client, replica_client, slocs):
+    for start, end in ((0.0, DURATION), (0.0, HISTORY), (30.0, 200.0)):
+        assert await replica_client.top_k(slocs, 3, start, end) == \
+            await primary_client.top_k(slocs, 3, start, end)
+    assert await replica_client.flows(slocs[:4], 0.0, DURATION) == \
+        await primary_client.flows(slocs[:4], 0.0, DURATION)
+
+
+# ----------------------------------------------------------------------
+# Binary ingest over the wire
+# ----------------------------------------------------------------------
+class TestBinaryIngest:
+    def test_binary_and_json_ingest_build_identical_tables(
+        self, small_real_scenario, tmp_path
+    ):
+        scenario = small_real_scenario
+        history, _ = _split_stream(scenario)
+        slocs = scenario.slocation_ids()
+
+        async def run():
+            svc_a, host_a, port_a = await _start_primary(
+                scenario, tmp_path / "bin"
+            )
+            svc_b, host_b, port_b = await _start_primary(
+                scenario, tmp_path / "json"
+            )
+            async with await ServiceClient.connect(host_a, port_a) as a, \
+                    await ServiceClient.connect(host_b, port_b) as b:
+                receipt_bin = await a.ingest_batch(history, binary=True)
+                receipt_json = await b.ingest_batch(history, binary=False)
+                assert receipt_bin == receipt_json
+                assert receipt_bin["seq"] == 1
+                assert await a.top_k(slocs, 3, 0.0, HISTORY) == \
+                    await b.top_k(slocs, 3, 0.0, HISTORY)
+            # The tables are bit-identical down to their version maps.
+            assert svc_a.iupt.store.shard_versions() == \
+                svc_b.iupt.store.shard_versions()
+            await svc_a.stop()
+            await svc_b.stop()
+
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Read replicas
+# ----------------------------------------------------------------------
+class TestReplicaConvergence:
+    def test_live_tail_converges_bit_identically(
+        self, small_real_scenario, tmp_path
+    ):
+        scenario = small_real_scenario
+        history, live = _split_stream(scenario)
+        slocs = scenario.slocation_ids()
+
+        async def run():
+            service, host, port = await _start_primary(
+                scenario, tmp_path, preload=history
+            )
+            replica = ReadReplica(_make_engine(scenario), host, port, name="r0")
+            rhost, rport = await replica.start()
+            assert replica.snapshot_catchups == 0  # cursor 0 was replayable
+            seq = None
+            async with await ServiceClient.connect(host, port) as primary:
+                step = max(1, len(live) // 4)
+                for i in range(0, len(live), step):
+                    seq = (await primary.ingest_batch(live[i : i + step]))["seq"]
+                await replica.wait_applied(seq)
+                async with await ServiceClient.connect(rhost, rport) as rc:
+                    await _assert_reads_match(primary, rc, slocs)
+                    status = await rc.replica_status()
+                    assert status["role"] == "replica"
+                    assert status["read_only"] is True
+                    assert status["applied_seq"] == seq
+                    with pytest.raises(ServiceError) as excinfo:
+                        await rc.evict_before(1.0)
+                    assert excinfo.value.kind == "bad_request"
+            # Same commit prefix, same store uid: equal version tokens.
+            assert replica.iupt.store.shard_versions() == \
+                service.iupt.store.shard_versions()
+            assert replica.iupt.store.version_token() == \
+                service.iupt.store.version_token()
+            await replica.stop()
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_snapshot_catch_up_when_the_floor_moved(
+        self, small_real_scenario, tmp_path
+    ):
+        scenario = small_real_scenario
+        history, live = _split_stream(scenario)
+        slocs = scenario.slocation_ids()
+
+        async def run():
+            # Aggressive checkpointing: the replay floor chases the head, so
+            # a replica joining from cursor 0 must catch up via snapshot.
+            service, host, port = await _start_primary(
+                scenario,
+                tmp_path,
+                preload=history,
+                config=DurabilityConfig(snapshot_every_batches=1),
+            )
+            async with await ServiceClient.connect(host, port) as primary:
+                seq = (await primary.ingest_batch(live))["seq"]
+                replica = ReadReplica(
+                    _make_engine(scenario), host, port, name="late"
+                )
+                rhost, rport = await replica.start()
+                assert replica.snapshot_catchups == 1
+                await replica.wait_applied(seq)
+                async with await ServiceClient.connect(rhost, rport) as rc:
+                    await _assert_reads_match(primary, rc, slocs)
+                assert replica.iupt.store.version_token() == \
+                    service.iupt.store.version_token()
+                await replica.stop()
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_eviction_ships_to_the_replica(self, small_real_scenario, tmp_path):
+        scenario = small_real_scenario
+        history, live = _split_stream(scenario)
+        slocs = scenario.slocation_ids()
+
+        async def run():
+            service, host, port = await _start_primary(
+                scenario, tmp_path, preload=history
+            )
+            replica = ReadReplica(_make_engine(scenario), host, port, name="r0")
+            rhost, rport = await replica.start()
+            async with await ServiceClient.connect(host, port) as primary:
+                seq = (await primary.ingest_batch(live))["seq"]
+                await replica.wait_applied(seq)
+                await primary.evict_before(HISTORY)
+                deadline = asyncio.get_running_loop().time() + 10.0
+                while replica.applied_evictions < 1:
+                    assert asyncio.get_running_loop().time() < deadline
+                    await asyncio.sleep(0.02)
+                assert replica.iupt.store.eviction_watermark == \
+                    service.iupt.store.eviction_watermark
+                async with await ServiceClient.connect(rhost, rport) as rc:
+                    assert await rc.top_k(slocs, 3, HISTORY, DURATION) == \
+                        await primary.top_k(slocs, 3, HISTORY, DURATION)
+            await replica.stop()
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_mixed_codec_wal_tails_to_a_replica(
+        self, small_real_scenario, tmp_path
+    ):
+        """A WAL holding both JSON and binary segments ships identically:
+        the cursor API decodes whatever is on disk and re-encodes RPK1."""
+        scenario = small_real_scenario
+        history, live = _split_stream(scenario)
+        slocs = scenario.slocation_ids()
+
+        async def run():
+            # First epoch: JSON-codec WAL frames.
+            iupt = IUPT.durable(
+                tmp_path,
+                shard_seconds=SERVICE_SHARD_SECONDS,
+                config=DurabilityConfig(codec="json"),
+            )
+            iupt.ingest_batch(history)
+            iupt.store.close()
+            # Second epoch: the same directory reopened under the binary
+            # codec — new frames are RPK1, old ones stay JSON.
+            iupt = IUPT.durable(
+                tmp_path,
+                shard_seconds=SERVICE_SHARD_SECONDS,
+                config=DurabilityConfig(codec="binary"),
+            )
+            service = QueryService(
+                _make_engine(scenario), iupt, query_workers=2
+            )
+            host, port = await service.start()
+            async with await ServiceClient.connect(host, port) as primary:
+                seq = (await primary.ingest_batch(live))["seq"]
+                replica = ReadReplica(
+                    _make_engine(scenario), host, port, name="mixed"
+                )
+                rhost, rport = await replica.start()
+                await replica.wait_applied(seq)
+                async with await ServiceClient.connect(rhost, rport) as rc:
+                    await _assert_reads_match(primary, rc, slocs)
+                assert replica.iupt.store.version_token() == \
+                    service.iupt.store.version_token()
+                await replica.stop()
+            await service.stop()
+
+        asyncio.run(run())
+
+
+class TestFaultInjectedCatchUpThenTail:
+    def test_replica_survives_a_primary_crash_and_restart(
+        self, small_real_scenario, tmp_path
+    ):
+        """Kill the primary mid-stream with the WAL fault hook, restart it
+        from its directory on the same port, and require the replica to
+        reconnect, re-handshake, and reconverge bit-identically."""
+        scenario = small_real_scenario
+        history, live = _split_stream(scenario)
+        slocs = scenario.slocation_ids()
+        step = max(1, len(live) // 8)
+
+        async def run():
+            # Crash after a bounded number of WAL writes, mid-stream.
+            iupt = IUPT.durable(
+                tmp_path,
+                shard_seconds=SERVICE_SHARD_SECONDS,
+                config=DurabilityConfig(fail_after_writes=16),
+            )
+            iupt.ingest_batch(history)  # commit seq 1
+            service = QueryService(
+                _make_engine(scenario), iupt, query_workers=2
+            )
+            host, port = await service.start()
+            replica = ReadReplica(
+                _make_engine(scenario),
+                host,
+                port,
+                name="survivor",
+                reconnect=ReconnectPolicy(
+                    max_retries=40, initial_backoff=0.05, max_backoff=0.25
+                ),
+            )
+            rhost, rport = await replica.start()
+
+            crashed = False
+            async with await ServiceClient.connect(host, port) as primary:
+                for i in range(0, len(live), step):
+                    try:
+                        await primary.ingest_batch(live[i : i + step])
+                    except ServiceError as error:
+                        assert error.kind == "internal"
+                        crashed = True
+                        break
+            assert crashed, "the fault hook never fired"
+            await service.stop()
+
+            # Restart from the directory on the SAME port — recovery
+            # truncates the torn tail; the replica applied only committed
+            # batches, so its cursor is exactly the recovered head.
+            iupt = IUPT.durable(tmp_path, shard_seconds=SERVICE_SHARD_SECONDS)
+            service = QueryService(
+                _make_engine(scenario), iupt, port=port, query_workers=2
+            )
+            await service.start()
+            async with await ServiceClient.connect(host, port) as primary:
+                # Resume the stream exactly after the last *committed* live
+                # batch (batch k covered live[(k-1)*step : k*step]).
+                status = await primary.replica_status()
+                committed_live = int(status["last_seq"]) - 1
+                remaining = live[committed_live * step :]
+                assert remaining, "the crash left nothing to resume"
+                seq = (await primary.ingest_batch(remaining))["seq"]
+                await replica.wait_applied(seq, timeout=30.0)
+                assert replica.healthy
+                async with await ServiceClient.connect(rhost, rport) as rc:
+                    await _assert_reads_match(primary, rc, slocs)
+            assert replica.iupt.store.version_token() == \
+                service.iupt.store.version_token()
+            await replica.stop()
+            await service.stop()
+
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# The partition router
+# ----------------------------------------------------------------------
+class TestPartitionRouter:
+    def test_routed_reads_are_bit_identical_and_spread(
+        self, small_real_scenario, tmp_path
+    ):
+        scenario = small_real_scenario
+        history, live = _split_stream(scenario)
+        slocs = scenario.slocation_ids()
+
+        async def run():
+            service, host, port = await _start_primary(
+                scenario, tmp_path, preload=history
+            )
+            replicas = []
+            for i in range(2):
+                replica = ReadReplica(
+                    _make_engine(scenario), host, port, name=f"r{i}"
+                )
+                address = await replica.start()
+                replicas.append((replica, address))
+            router = PartitionRouter(
+                (host, port), [address for _, address in replicas]
+            )
+            rhost, rport = await router.start()
+            async with await ServiceClient.connect(rhost, rport) as routed, \
+                    await ServiceClient.connect(host, port) as primary:
+                # Writes route to the primary and set the freshness bound.
+                seq = (await routed.ingest_batch(live))["seq"]
+                assert router.last_write_seq == seq
+                windows = [
+                    (0.0, 60.0), (60.0, 120.0), (120.0, 180.0),
+                    (0.0, DURATION), (90.0, 210.0),
+                ]
+                for start, end in windows:
+                    assert await routed.top_k(slocs, 3, start, end) == \
+                        await primary.top_k(slocs, 3, start, end)
+                assert await routed.flows(slocs[:4], 0.0, DURATION) == \
+                    await primary.flows(slocs[:4], 0.0, DURATION)
+                batch = [
+                    {"q": slocs, "k": 2, "start": 0.0, "end": DURATION},
+                    {"q": slocs[:5], "k": 1, "start": 30.0, "end": 90.0},
+                ]
+                assert await routed.batch(batch) == await primary.batch(batch)
+                status = await routed.request("replica_status")
+                spread = status["router"]["reads_by_backend"]
+                # Partition affinity used both replicas; nothing fell back.
+                assert spread[0] == 0 and spread[1] > 0 and spread[2] > 0
+                assert status["router"]["primary_fallbacks"] == 0
+            await router.stop()
+            for replica, _ in replicas:
+                await replica.stop()
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_router_relays_subscription_pushes(
+        self, small_real_scenario, tmp_path
+    ):
+        scenario = small_real_scenario
+        history, live = _split_stream(scenario)
+        slocs = scenario.slocation_ids()
+
+        async def run():
+            service, host, port = await _start_primary(
+                scenario, tmp_path, preload=history
+            )
+            replica = ReadReplica(_make_engine(scenario), host, port, name="r0")
+            address = await replica.start()
+            router = PartitionRouter((host, port), [address])
+            rhost, rport = await router.start()
+            async with await ServiceClient.connect(rhost, rport) as routed:
+                subscription = await routed.subscribe_top_k(
+                    slocs, 3, 0.0, DURATION
+                )
+                await routed.ingest_batch(live)
+                update = await subscription.next_update(timeout=15.0)
+                assert update["push"] == "update"
+                assert update["subscription"] == subscription.sub_id
+                assert await routed.unsubscribe(subscription)
+            await router.stop()
+            await replica.stop()
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_router_falls_back_to_the_primary_when_a_replica_dies(
+        self, small_real_scenario, tmp_path
+    ):
+        scenario = small_real_scenario
+        history, _ = _split_stream(scenario)
+        slocs = scenario.slocation_ids()
+
+        async def run():
+            service, host, port = await _start_primary(
+                scenario, tmp_path, preload=history
+            )
+            replica = ReadReplica(_make_engine(scenario), host, port, name="r0")
+            address = await replica.start()
+            router = PartitionRouter(
+                (host, port), [address], freshness_timeout=0.5
+            )
+            rhost, rport = await router.start()
+            async with await ServiceClient.connect(rhost, rport) as routed, \
+                    await ServiceClient.connect(host, port) as primary:
+                expected = await primary.top_k(slocs, 3, 0.0, HISTORY)
+                assert await routed.top_k(slocs, 3, 0.0, HISTORY) == expected
+                await replica.stop()  # the only replica goes dark
+                assert await routed.top_k(slocs, 3, 0.0, HISTORY) == expected
+                status = await routed.request("replica_status")
+                assert status["router"]["primary_fallbacks"] >= 1
+            await router.stop()
+            await service.stop()
+
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Client reconnection
+# ----------------------------------------------------------------------
+class TestClientReconnect:
+    def test_bounded_reconnect_with_backoff(self, small_real_scenario, tmp_path):
+        scenario = small_real_scenario
+
+        async def run():
+            service, host, port = await _start_primary(scenario, tmp_path)
+            client = await ServiceClient.connect(
+                host,
+                port,
+                reconnect=ReconnectPolicy(
+                    max_retries=10, initial_backoff=0.05, max_backoff=0.25
+                ),
+            )
+            assert (await client.ping())["pong"] is True
+            await service.stop()
+            # Restart on the same port while the client retries.
+            service = QueryService(
+                _make_engine(scenario),
+                IUPT.durable(tmp_path, shard_seconds=SERVICE_SHARD_SECONDS),
+                port=port,
+                query_workers=2,
+            )
+            await service.start()
+            assert (await client.ping())["pong"] is True
+            assert client.reconnects >= 1
+            await client.close()
+            await service.stop()
+
+        asyncio.run(run())
+
+    def test_without_a_policy_a_dead_connection_raises(
+        self, small_real_scenario, tmp_path
+    ):
+        scenario = small_real_scenario
+
+        async def run():
+            service, host, port = await _start_primary(scenario, tmp_path)
+            client = await ServiceClient.connect(host, port)
+            await service.stop()
+            with pytest.raises(ConnectionError):
+                await client.ping()
+            await client.close()
+
+        asyncio.run(run())
